@@ -1,0 +1,96 @@
+// memsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	memsbench                     # run every artifact at full size
+//	memsbench -run fig6           # one artifact
+//	memsbench -run fig6,table2    # several
+//	memsbench -quick              # reduced sizes (seconds instead of minutes)
+//	memsbench -csv -o results/    # write one CSV per table instead of text
+//	memsbench -list               # list artifact IDs
+//
+// Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
+// quantified extensions fault and power (DESIGN.md §2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memsim/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
+		quick = flag.Bool("quick", false, "use reduced simulation sizes")
+		csv   = flag.Bool("csv", false, "emit CSV files instead of text tables")
+		out   = flag.String("o", "", "output directory for -csv (default: current)")
+		list  = flag.Bool("list", false, "list artifact IDs and exit")
+		seed  = flag.Int64("seed", 1, "random seed for all generators")
+		reqs  = flag.Int("requests", 0, "override per-run request count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := experiments.Default()
+	if *quick {
+		p = experiments.Quick()
+	}
+	p.Seed = *seed
+	if *reqs > 0 {
+		p.Requests = *reqs
+		if p.Warmup >= *reqs/2 {
+			p.Warmup = *reqs / 10
+		}
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tables, err := experiments.Run(id, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memsbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				dir := *out
+				if dir == "" {
+					dir = "."
+				}
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "memsbench:", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(dir, t.ID+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "memsbench:", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "memsbench:", err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote", path)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// memstrace generates and inspects storage traces in the repository's
+// text format (one "<time-ms> <r|w> <lbn> <blocks>" record per line).
+//
+// Usage:
+//
+//	memstrace -gen cello -count 50000 -o cello.txt   # generate
+//	memstrace -gen tpcc -scale 4 -o tpcc.txt
+//	memstrace -stats cello.txt                       # summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memsim/internal/mems"
+	"memsim/internal/trace"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "generate a synthetic trace: cello | tpcc")
+		count    = flag.Int("count", 50000, "records to generate")
+		capacity = flag.Int64("capacity", 0, "device capacity in sectors (default: the paper's MEMS device)")
+		scale    = flag.Float64("scale", 1, "scale factor applied to arrival times")
+		out      = flag.String("o", "", "output file (default stdout)")
+		statsF   = flag.String("stats", "", "summarize an existing trace file")
+	)
+	flag.Parse()
+
+	if *capacity == 0 {
+		g, err := mems.NewGeometry(mems.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		*capacity = g.TotalSectors
+	}
+
+	switch {
+	case *statsF != "":
+		f, err := os.Open(*statsF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f, *statsF)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(tr)
+	case *gen != "":
+		var tr *trace.Trace
+		switch *gen {
+		case "cello":
+			tr = trace.GenerateCello(trace.DefaultCello(*capacity, *count))
+		case "tpcc":
+			tr = trace.GenerateTPCC(trace.DefaultTPCC(*capacity, *count))
+		default:
+			fatal(fmt.Errorf("unknown generator %q (want cello or tpcc)", *gen))
+		}
+		if *scale != 1 {
+			tr = tr.Scale(*scale)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.Write(w, tr); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", tr.Len(), *out)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.Summarize()
+	fmt.Printf("trace            %s\n", tr.Name)
+	fmt.Printf("records          %d\n", s.Records)
+	fmt.Printf("duration         %.1f s\n", s.DurationMs/1000)
+	fmt.Printf("mean rate        %.1f req/s\n", s.MeanRate)
+	fmt.Printf("read fraction    %.2f\n", float64(s.Reads)/float64(s.Records))
+	fmt.Printf("mean size        %.1f sectors (%.1f KB)\n", s.MeanBlocks, s.MeanBlocks*512/1024)
+	fmt.Printf("sequential frac  %.3f\n", s.SeqFraction)
+	fmt.Printf("LBN span         %d sectors (%.2f GB)\n", s.UniqueRegion, float64(s.UniqueRegion)*512/1e9)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memstrace:", err)
+	os.Exit(1)
+}

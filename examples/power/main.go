@@ -1,0 +1,62 @@
+// Power demo (§7): the same bursty file-server workload runs over a
+// power-managed MEMS device and a mobile disk. The MEMS device's 0.5 ms
+// restart lets it idle the instant its queue drains — large energy
+// savings at an imperceptible latency cost — while the disk's
+// multi-second spin-up forces the classic timeout trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+func main() {
+	type variant struct {
+		device string
+		model  memsim.PowerModel
+		policy memsim.PowerPolicy
+		label  string
+	}
+	mk := func() (memsim.Device, memsim.Device) {
+		m, err := memsim.NewMEMSDevice(memsim.DefaultMEMSConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := memsim.NewDiskDevice(memsim.Atlas10KConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m, d
+	}
+
+	fmt.Printf("%-12s %-22s %10s %10s %9s %12s\n",
+		"device", "policy", "energy(J)", "power(W)", "restarts", "response(ms)")
+	for _, v := range []variant{
+		{"mems", memsim.MEMSPowerModel(), memsim.ImmediateIdle(), "immediate idle"},
+		{"mems", memsim.MEMSPowerModel(), memsim.AlwaysOn(), "always on"},
+		{"disk", memsim.MobileDiskPowerModel(), memsim.ImmediateIdle(), "immediate spin-down"},
+		{"disk", memsim.MobileDiskPowerModel(), memsim.PowerPolicy{TimeoutMs: 5000}, "5 s timeout"},
+		{"disk", memsim.MobileDiskPowerModel(), memsim.AlwaysOn(), "always on"},
+	} {
+		memsDev, diskDev := mk()
+		dev := memsDev
+		if v.device == "disk" {
+			dev = diskDev
+		}
+		tr := memsim.GenerateCelloTrace(dev.Capacity(), 10000)
+		managed := memsim.NewPowerManaged(dev, v.model, v.policy)
+		sched, err := memsim.NewScheduler("FCFS")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := memsim.Simulate(managed, sched, memsim.TraceSource(tr), memsim.SimOptions{})
+		managed.FinishAt(res.Elapsed)
+		rep := managed.Report()
+		fmt.Printf("%-12s %-22s %10.1f %10.3f %9d %12.3f\n",
+			v.device, v.label, rep.TotalJ(), rep.MeanPowerW(), rep.Restarts,
+			res.Response.Mean())
+	}
+	fmt.Println("\nthe MEMS restart (0.5 ms) is invisible; the disk's (2 s) is not.")
+}

@@ -1,0 +1,179 @@
+package memsim
+
+import (
+	"math/rand"
+
+	"memsim/internal/array"
+	"memsim/internal/bus"
+	"memsim/internal/cache"
+	"memsim/internal/fault"
+	"memsim/internal/layout"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/workload"
+)
+
+// ─── Data placement (§5) ────────────────────────────────────────────────
+
+// Placer is a data-placement policy for the §5.3 bipartite workload.
+type Placer = layout.Placer
+
+// PlacementClass distinguishes the small and large request populations.
+type PlacementClass = layout.Class
+
+// SmallClass and LargeClass are the two §5.3 request populations.
+const (
+	SmallClass = layout.Small
+	LargeClass = layout.Large
+)
+
+// NewMEMSSimpleLayout places both classes uniformly (the Fig. 11
+// baseline).
+func NewMEMSSimpleLayout(g *MEMSGeometry) Placer { return layout.NewMEMSSimple(g) }
+
+// NewMEMSOrganPipeLayout packs the small population into the centermost
+// cylinders — the layout that is optimal for disks.
+func NewMEMSOrganPipeLayout(g *MEMSGeometry, smallFrac float64) Placer {
+	return layout.NewMEMSOrganPipe(g, smallFrac)
+}
+
+// NewMEMSColumnarLayout divides the LBN space into columns of contiguous
+// cylinders (25 in the paper), small data in the center column.
+func NewMEMSColumnarLayout(g *MEMSGeometry, columns int) Placer {
+	return layout.NewMEMSColumnar(g, columns)
+}
+
+// NewMEMSSubregionedLayout is the n×n (5×5) grid layout of §5.3,
+// confining small data in both X and Y.
+func NewMEMSSubregionedLayout(g *MEMSGeometry, n int) Placer {
+	return layout.NewMEMSSubregioned(g, n)
+}
+
+// NewDiskSimpleLayout and NewDiskOrganPipeLayout are the disk-side
+// baselines of Fig. 11.
+func NewDiskSimpleLayout(d *DiskDevice) Placer { return layout.NewDiskSimple(d) }
+
+// NewDiskOrganPipeLayout packs the small population into the disk's
+// center cylinders.
+func NewDiskOrganPipeLayout(d *DiskDevice, smallFrac float64) Placer {
+	return layout.NewDiskOrganPipe(d, smallFrac)
+}
+
+// BipartiteConfig parameterizes the §5.3 workload (89% 4 KB / 11%
+// 400 KB reads).
+type BipartiteConfig = workload.BipartiteConfig
+
+// DefaultBipartiteConfig returns the paper's §5.3 parameters.
+func DefaultBipartiteConfig(seed int64) BipartiteConfig { return workload.DefaultBipartite(seed) }
+
+// NewBipartiteWorkload builds the §5.3 workload over a placement policy.
+func NewBipartiteWorkload(cfg BipartiteConfig, p Placer) WorkloadSource {
+	return workload.NewBipartite(cfg, p)
+}
+
+// ─── Failure management (§6) ────────────────────────────────────────────
+
+// FaultConfig describes the redundancy structure of a tip array
+// (striping width, ECC tips, spare pool).
+type FaultConfig = fault.Config
+
+// FaultArray tracks tip failures, spare remappings, and recoverability.
+type FaultArray = fault.Array
+
+// DefaultFaultConfig returns the default redundancy: 64-tip stripes, 2
+// ECC tips, 130 spares.
+func DefaultFaultConfig() FaultConfig { return fault.DefaultConfig() }
+
+// NewFaultArray builds a FaultArray.
+func NewFaultArray(cfg FaultConfig) (*FaultArray, error) { return fault.NewArray(cfg) }
+
+// LossProbability estimates P(data loss | k random tip failures) by
+// Monte Carlo.
+func LossProbability(cfg FaultConfig, k, trials int, rng *rand.Rand) (float64, error) {
+	return fault.LossProbability(cfg, k, trials, rng)
+}
+
+// ErasureCode is the systematic Reed-Solomon code used for horizontal
+// tip-sector ECC (§6.1.2).
+type ErasureCode = fault.RS
+
+// NewErasureCode builds a code with k data and m parity shards.
+func NewErasureCode(k, m int) (*ErasureCode, error) { return fault.NewRS(k, m) }
+
+// SlipRemapDevice wraps a device with a disk-style defective-sector
+// remap table, modeling the sequentiality-breaking penalty that MEMS
+// spare-tip remapping avoids (§6.1.1).
+type SlipRemapDevice = fault.SlipRemap
+
+// NewSlipRemapDevice wraps dev with an empty remap table.
+func NewSlipRemapDevice(dev Device) *SlipRemapDevice { return fault.NewSlipRemap(dev) }
+
+// ─── Arrays (§6.2) ──────────────────────────────────────────────────────
+
+// RAIDLevel selects the inter-device redundancy scheme.
+type RAIDLevel = array.Level
+
+// The supported array levels.
+const (
+	RAID0 = array.RAID0
+	RAID1 = array.RAID1
+	RAID5 = array.RAID5
+)
+
+// ArrayConfig parameterizes a device array.
+type ArrayConfig = array.Config
+
+// DeviceArray combines member devices into one logical device; RAID-5
+// small writes pay the read-modify-write sequence whose cost Table 2
+// compares across device types.
+type DeviceArray = array.Array
+
+// NewDeviceArray builds an array over equal-geometry members.
+func NewDeviceArray(cfg ArrayConfig, members []Device) (*DeviceArray, error) {
+	return array.New(cfg, members)
+}
+
+// ─── Device cache (§2.4.11) ─────────────────────────────────────────────
+
+// CacheConfig parameterizes the on-device speed-matching buffer.
+type CacheConfig = cache.Config
+
+// CachedDevice wraps a device with a segment-LRU read buffer and
+// sequential read-ahead.
+type CachedDevice = cache.Cache
+
+// DefaultCacheConfig returns a 4 MB buffer with track-sized segments and
+// read-ahead.
+func DefaultCacheConfig() CacheConfig { return cache.DefaultConfig() }
+
+// NewCachedDevice wraps dev with the buffer.
+func NewCachedDevice(dev Device, cfg CacheConfig) *CachedDevice { return cache.New(dev, cfg) }
+
+// ─── Shared interconnect ────────────────────────────────────────────────
+
+// BusConfig parameterizes a shared host interconnect.
+type BusConfig = bus.Config
+
+// Bus is one shared interconnect; attached devices contend for it.
+type Bus = bus.Bus
+
+// Ultra160BusConfig returns an Ultra160-SCSI-like bus.
+func Ultra160BusConfig() BusConfig { return bus.Ultra160() }
+
+// NewBus builds a bus.
+func NewBus(cfg BusConfig) *Bus { return bus.New(cfg) }
+
+// ─── Extensions ─────────────────────────────────────────────────────────
+
+// NewAgedSPTF returns the aged-SPTF scheduler extension: positioning
+// estimates are discounted by weight · queue-wait, bounding the tails
+// that pure SPTF inflates near saturation.
+func NewAgedSPTF(weight float64) Scheduler { return sched.NewASPTF(weight) }
+
+// MEMSConfigGen2 and MEMSConfigGen3 are extrapolated future device
+// generations for sensitivity studies (see internal/mems/generations.go
+// for the caveats).
+func MEMSConfigGen2() MEMSConfig { return mems.ConfigGen2() }
+
+// MEMSConfigGen3 is the third-generation extrapolation.
+func MEMSConfigGen3() MEMSConfig { return mems.ConfigGen3() }

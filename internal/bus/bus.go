@@ -1,0 +1,139 @@
+// Package bus models the shared host interconnect that DiskSim places
+// between controller and devices, and whose rate mismatch with the media
+// is the reason §2.4.11's speed-matching buffers exist. A Bus has a
+// fixed per-command overhead and a data rate; devices attached to the
+// same bus contend for it, so a shelf of MEMS-based storage devices —
+// each streaming 79.6 MB/s — saturates a SCSI-era 160 MB/s bus at two
+// to three sleds.
+//
+// Timing model per request: the command phase occupies the bus for
+// CommandMs, the device then operates, and the data transfer occupies
+// the bus for bytes/rate, pipelined with the media transfer through the
+// device's speed-matching buffer (completion is no earlier than either
+// the media or the bus finishing).
+package bus
+
+import (
+	"fmt"
+
+	"memsim/internal/core"
+)
+
+// Config parameterizes the interconnect.
+type Config struct {
+	// MBPerSec is the bus data rate (Ultra160 SCSI: 160).
+	MBPerSec float64
+	// CommandMs is the arbitration + command transfer time per request.
+	CommandMs float64
+}
+
+// Ultra160 returns an Ultra160-SCSI-like configuration.
+func Ultra160() Config { return Config{MBPerSec: 160, CommandMs: 0.01} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MBPerSec <= 0 {
+		return fmt.Errorf("bus: rate must be positive, got %g", c.MBPerSec)
+	}
+	if c.CommandMs < 0 {
+		return fmt.Errorf("bus: negative command time %g", c.CommandMs)
+	}
+	return nil
+}
+
+// Bus is one shared interconnect. Attach as many devices as it should
+// carry; all attached devices serialize their bus phases.
+type Bus struct {
+	cfg    Config
+	freeAt float64 // the bus is occupied until this time
+	busyMs float64 // total occupied time (for utilization)
+}
+
+// New builds a bus; it panics on invalid configuration.
+func New(cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Reset clears the bus schedule.
+func (b *Bus) Reset() { b.freeAt, b.busyMs = 0, 0 }
+
+// BusyMs returns the cumulative time the bus was occupied.
+func (b *Bus) BusyMs() float64 { return b.busyMs }
+
+// xferMs returns the bus time for n bytes.
+func (b *Bus) xferMs(bytes int64) float64 {
+	return float64(bytes) / (b.cfg.MBPerSec * 1e3) // MB/s = bytes/ms ÷ 1e3
+}
+
+// claim occupies the bus for dur starting no earlier than at, returning
+// the interval start.
+func (b *Bus) claim(at, dur float64) float64 {
+	start := at
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.freeAt = start + dur
+	b.busyMs += dur
+	return start
+}
+
+// Attached is a device on a bus; it implements core.Device.
+type Attached struct {
+	bus   *Bus
+	inner core.Device
+}
+
+var _ core.Device = (*Attached)(nil)
+
+// Attach puts dev on the bus.
+func (b *Bus) Attach(dev core.Device) *Attached { return &Attached{bus: b, inner: dev} }
+
+// Name implements core.Device.
+func (a *Attached) Name() string { return a.inner.Name() + "+bus" }
+
+// Capacity implements core.Device.
+func (a *Attached) Capacity() int64 { return a.inner.Capacity() }
+
+// SectorSize implements core.Device.
+func (a *Attached) SectorSize() int { return a.inner.SectorSize() }
+
+// Reset implements core.Device. It does not reset the shared bus (other
+// devices may be mid-flight); call Bus.Reset between experiments.
+func (a *Attached) Reset() { a.inner.Reset() }
+
+// Access implements core.Device.
+func (a *Attached) Access(req *core.Request, now float64) float64 {
+	cmdStart := a.bus.claim(now, a.bus.cfg.CommandMs)
+	devStart := cmdStart + a.bus.cfg.CommandMs
+	mediaDone := devStart + a.inner.Access(req, devStart)
+	// Data phase: pipelined with the media through the speed-matching
+	// buffer — the transfer cannot finish before either the media or a
+	// bus slot of the right length.
+	xfer := a.bus.xferMs(req.Bytes(a.inner.SectorSize()))
+	busStart := a.bus.claim(devStart, xfer)
+	done := busStart + xfer
+	if done < mediaDone {
+		done = mediaDone
+	}
+	return done - now
+}
+
+// EstimateAccess implements core.Device: the device estimate plus the
+// command and transfer times assuming an idle bus (a lower bound under
+// contention).
+func (a *Attached) EstimateAccess(req *core.Request, now float64) float64 {
+	est := a.inner.EstimateAccess(req, now+a.bus.cfg.CommandMs)
+	xfer := a.bus.xferMs(req.Bytes(a.inner.SectorSize()))
+	total := a.bus.cfg.CommandMs + est
+	if xfer > est {
+		total = a.bus.cfg.CommandMs + xfer
+	}
+	wait := a.bus.freeAt - now
+	if wait < 0 {
+		wait = 0
+	}
+	return wait + total
+}

@@ -1,0 +1,158 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+)
+
+// instantDev completes media work in a fixed time.
+type instantDev struct{ svc float64 }
+
+func (d *instantDev) Name() string                                  { return "instant" }
+func (d *instantDev) Capacity() int64                               { return 1 << 30 }
+func (d *instantDev) SectorSize() int                               { return 512 }
+func (d *instantDev) Reset()                                        {}
+func (d *instantDev) Access(*core.Request, float64) float64         { return d.svc }
+func (d *instantDev) EstimateAccess(*core.Request, float64) float64 { return d.svc }
+
+func TestConfigValidate(t *testing.T) {
+	if err := Ultra160().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{MBPerSec: 0}).Validate(); err == nil {
+		t.Error("expected rate error")
+	}
+	if err := (Config{MBPerSec: 100, CommandMs: -1}).Validate(); err == nil {
+		t.Error("expected command error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New should panic")
+			}
+		}()
+		New(Config{})
+	}()
+}
+
+func TestSingleAccessTiming(t *testing.T) {
+	// Media 1 ms, transfer 4096 B at 160 MB/s = 0.0256 ms, command 0.01.
+	b := New(Config{MBPerSec: 160, CommandMs: 0.01})
+	a := b.Attach(&instantDev{svc: 1})
+	svc := a.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 8}, 0)
+	// Pipelined: done = max(media done, bus slot end). Bus data phase is
+	// claimed at device start: start 0.01, xfer 0.0256 → ends 0.0356;
+	// media ends 1.01 → done 1.01.
+	if math.Abs(svc-1.01) > 1e-9 {
+		t.Errorf("service = %g, want 1.01", svc)
+	}
+}
+
+func TestBusBoundTransfer(t *testing.T) {
+	// A fast device (0.1 ms media) moving 1 MB: bus at 100 MB/s needs
+	// 10 ms → bus-bound.
+	b := New(Config{MBPerSec: 100, CommandMs: 0})
+	a := b.Attach(&instantDev{svc: 0.1})
+	blocks := 1 << 11 // 1 MB
+	svc := a.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: blocks}, 0)
+	if math.Abs(svc-10.48576) > 0.01 {
+		t.Errorf("bus-bound service = %g, want ≈ 10.49", svc)
+	}
+}
+
+func TestContentionSerializesBus(t *testing.T) {
+	// Two devices issue at the same instant: the second's data phase
+	// waits for the first's.
+	b := New(Config{MBPerSec: 100, CommandMs: 0})
+	d1 := b.Attach(&instantDev{svc: 0})
+	d2 := b.Attach(&instantDev{svc: 0})
+	blocks := 1 << 11 // 1 MB → 10.49 ms on the bus
+	s1 := d1.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: blocks}, 0)
+	s2 := d2.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: blocks}, 0)
+	if s2 < s1*1.9 {
+		t.Errorf("second transfer (%g) should wait behind the first (%g)", s2, s1)
+	}
+	if got := b.BusyMs(); math.Abs(got-2*10.48576) > 0.01 {
+		t.Errorf("bus busy = %g ms", got)
+	}
+}
+
+func TestCommandOverheadSerializes(t *testing.T) {
+	b := New(Config{MBPerSec: 1e9, CommandMs: 1})
+	d1 := b.Attach(&instantDev{svc: 0})
+	d2 := b.Attach(&instantDev{svc: 0})
+	d1.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 1}, 0)
+	svc := d2.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 1}, 0)
+	// Second command waits ~1 ms for the first's command phase.
+	if svc < 1.9 {
+		t.Errorf("second request service = %g, want ≈ 2 (queued command)", svc)
+	}
+}
+
+func TestResetClearsSchedule(t *testing.T) {
+	b := New(Config{MBPerSec: 100, CommandMs: 0})
+	a := b.Attach(&instantDev{svc: 0})
+	a.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 1 << 11}, 0)
+	b.Reset()
+	if b.BusyMs() != 0 {
+		t.Error("Reset did not clear busy accounting")
+	}
+	svc := a.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 8}, 0)
+	if svc > 1 {
+		t.Errorf("post-reset access = %g, bus schedule not cleared", svc)
+	}
+}
+
+func TestEstimateLowerBound(t *testing.T) {
+	b := New(Config{MBPerSec: 160, CommandMs: 0.01})
+	a := b.Attach(&instantDev{svc: 1})
+	r := &core.Request{Op: core.Read, LBN: 0, Blocks: 8}
+	if est := a.EstimateAccess(r, 0); math.Abs(est-1.01) > 1e-9 {
+		t.Errorf("idle-bus estimate = %g", est)
+	}
+	// With the bus busy, the estimate includes the wait.
+	a.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 1 << 12}, 0)
+	if est := a.EstimateAccess(r, 0); est <= 1.01 {
+		t.Errorf("busy-bus estimate = %g, should include wait", est)
+	}
+}
+
+func TestMEMSStreamOverSharedBus(t *testing.T) {
+	// Four sleds streaming concurrently over one Ultra160 bus must be
+	// bus-limited: aggregate ≈ 160 MB/s, not 4 × 79.6.
+	b := New(Ultra160())
+	devs := make([]*Attached, 4)
+	for i := range devs {
+		devs[i] = b.Attach(mems.MustDevice(mems.DefaultConfig()))
+	}
+	const blocks = 512 // 256 KB pieces
+	done := make([]float64, 4)
+	var bytes float64
+	for round := 0; round < 40; round++ {
+		for i, d := range devs {
+			lbn := int64(round * blocks)
+			svc := d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: blocks}, done[i])
+			done[i] += svc
+			bytes += blocks * 512
+		}
+	}
+	elapsed := 0.0
+	for _, d := range done {
+		if d > elapsed {
+			elapsed = d
+		}
+	}
+	aggregate := bytes / (elapsed / 1000) / 1e6
+	if aggregate > 170 {
+		t.Errorf("aggregate %0.f MB/s exceeds the 160 MB/s bus", aggregate)
+	}
+	if aggregate < 100 {
+		t.Errorf("aggregate %0.f MB/s too low — contention model too pessimistic", aggregate)
+	}
+	if a := devs[0]; a.Name() != "MEMS+bus" || a.Capacity() == 0 || a.SectorSize() != 512 {
+		t.Error("pass-through accessors wrong")
+	}
+}

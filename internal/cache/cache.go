@@ -1,0 +1,234 @@
+// Package cache models the on-device speed-matching buffer of §2.4.11:
+// "since sequential request streams are important aspects of many real
+// systems, these speed-matching buffers will play an important role in
+// prefetching of sequential LBNs." The cache is a segment-granular LRU
+// read cache with sequential read-ahead, wrapped around any core.Device;
+// it is a timing model (hits cost only the interface transfer, misses
+// cost the media access that also fetches the read-ahead).
+//
+// As the paper notes, "most block reuse will be captured by larger host
+// memory caches instead of in the device cache" — so the defaults are a
+// small buffer whose value is prefetching, not reuse.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"memsim/internal/core"
+)
+
+// Config parameterizes the buffer.
+type Config struct {
+	// SizeSectors is the total buffer capacity in sectors (default
+	// device buffers of the era were 1–4 MB; 4 MB = 8192 sectors).
+	SizeSectors int64
+	// SegmentSectors is the caching granularity. One MEMS track (540
+	// sectors) or one disk track is the natural unit.
+	SegmentSectors int
+	// ReadAhead is how many sectors past a read miss the device
+	// continues to stream into the buffer.
+	ReadAhead int
+	// AdaptivePrefetch, when set, enables read-ahead only once the
+	// request stream looks sequential (a request starting where the
+	// previous one ended). Fixed read-ahead taxes random traffic — every
+	// miss drags a full segment across the media — while sequential
+	// streams still get the full benefit after the first pair.
+	AdaptivePrefetch bool
+	// HitMs is the interface/controller time charged for a request
+	// served entirely from the buffer.
+	HitMs float64
+}
+
+// DefaultConfig returns a 4 MB buffer with one-track segments and
+// one-track read-ahead for the paper's MEMS device geometry.
+func DefaultConfig() Config {
+	return Config{SizeSectors: 8192, SegmentSectors: 540, ReadAhead: 540, HitMs: 0.02}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeSectors <= 0:
+		return fmt.Errorf("cache: size must be positive, got %d", c.SizeSectors)
+	case c.SegmentSectors <= 0:
+		return fmt.Errorf("cache: segment size must be positive, got %d", c.SegmentSectors)
+	case int64(c.SegmentSectors) > c.SizeSectors:
+		return fmt.Errorf("cache: segment (%d) larger than cache (%d)", c.SegmentSectors, c.SizeSectors)
+	case c.ReadAhead < 0:
+		return fmt.Errorf("cache: negative read-ahead %d", c.ReadAhead)
+	case c.HitMs < 0:
+		return fmt.Errorf("cache: negative hit time %g", c.HitMs)
+	}
+	return nil
+}
+
+// Cache wraps a device with the buffer; it implements core.Device.
+type Cache struct {
+	inner core.Device
+	cfg   Config
+
+	lru      *list.List // front = most recent; values are segment ids
+	resident map[int64]*list.Element
+	maxSegs  int
+
+	// nextSeq is where a sequential continuation of the last read would
+	// start; sequential tracks whether the stream currently looks
+	// sequential (for AdaptivePrefetch).
+	nextSeq    int64
+	sequential bool
+
+	hits, misses, prefetchedSectors int64
+}
+
+var _ core.Device = (*Cache)(nil)
+
+// New wraps inner; it panics on invalid configuration
+// (programmer-supplied).
+func New(inner core.Device, cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{inner: inner, cfg: cfg}
+	c.maxSegs = int(cfg.SizeSectors / int64(cfg.SegmentSectors))
+	c.flush()
+	return c
+}
+
+// Name implements core.Device.
+func (c *Cache) Name() string { return c.inner.Name() + "+cache" }
+
+// Capacity implements core.Device.
+func (c *Cache) Capacity() int64 { return c.inner.Capacity() }
+
+// SectorSize implements core.Device.
+func (c *Cache) SectorSize() int { return c.inner.SectorSize() }
+
+// Reset implements core.Device; the buffer and statistics clear too.
+func (c *Cache) Reset() {
+	c.inner.Reset()
+	c.flush()
+	c.hits, c.misses, c.prefetchedSectors = 0, 0, 0
+}
+
+func (c *Cache) flush() {
+	c.lru = list.New()
+	c.resident = make(map[int64]*list.Element)
+	c.nextSeq = -1
+	c.sequential = false
+}
+
+// observe updates the sequentiality detector with a read at [lbn, +blocks).
+func (c *Cache) observe(lbn int64, blocks int) {
+	c.sequential = lbn == c.nextSeq
+	c.nextSeq = lbn + int64(blocks)
+}
+
+// readAhead returns the prefetch extent for a miss at the current point
+// in the stream.
+func (c *Cache) readAhead() int64 {
+	if c.cfg.AdaptivePrefetch && !c.sequential {
+		return 0
+	}
+	return int64(c.cfg.ReadAhead)
+}
+
+// Hits, Misses and HitRate report read statistics.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any reads.
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// PrefetchedSectors reports how many sectors were fetched beyond what
+// requests demanded.
+func (c *Cache) PrefetchedSectors() int64 { return c.prefetchedSectors }
+
+// segRange returns the segment ids covering [lbn, lbn+blocks).
+func (c *Cache) segRange(lbn int64, blocks int) (first, last int64) {
+	s := int64(c.cfg.SegmentSectors)
+	return lbn / s, (lbn + int64(blocks) - 1) / s
+}
+
+// allResident reports whether every covering segment is buffered.
+func (c *Cache) allResident(lbn int64, blocks int) bool {
+	first, last := c.segRange(lbn, blocks)
+	for s := first; s <= last; s++ {
+		if _, ok := c.resident[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// touch marks the covering segments most-recently-used, inserting and
+// evicting as needed.
+func (c *Cache) touch(lbn int64, blocks int) {
+	first, last := c.segRange(lbn, blocks)
+	for s := first; s <= last; s++ {
+		if e, ok := c.resident[s]; ok {
+			c.lru.MoveToFront(e)
+			continue
+		}
+		c.resident[s] = c.lru.PushFront(s)
+		for c.lru.Len() > c.maxSegs {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.resident, old.Value.(int64))
+		}
+	}
+}
+
+// Access implements core.Device.
+func (c *Cache) Access(req *core.Request, now float64) float64 {
+	if req.Op == core.Write {
+		// Write-through, no-allocate: the media access is charged in
+		// full; segments already resident stay resident (the buffer
+		// observes the write on its way through).
+		return c.inner.Access(req, now)
+	}
+	c.observe(req.LBN, req.Blocks)
+	if c.allResident(req.LBN, req.Blocks) {
+		c.hits++
+		c.touch(req.LBN, req.Blocks)
+		return c.cfg.HitMs
+	}
+	c.misses++
+	// Miss: stream the demanded extent plus read-ahead from the media.
+	fetch := *req
+	ahead := c.readAhead()
+	if max := c.inner.Capacity() - (req.LBN + int64(req.Blocks)); ahead > max {
+		ahead = max
+	}
+	fetch.Blocks = req.Blocks + int(ahead)
+	c.prefetchedSectors += ahead
+	t := c.inner.Access(&fetch, now)
+	c.touch(fetch.LBN, fetch.Blocks)
+	return c.cfg.HitMs + t
+}
+
+// EstimateAccess implements core.Device: hits are predicted from current
+// residency without promoting segments or fetching.
+func (c *Cache) EstimateAccess(req *core.Request, now float64) float64 {
+	if req.Op == core.Write {
+		return c.inner.EstimateAccess(req, now)
+	}
+	if c.allResident(req.LBN, req.Blocks) {
+		return c.cfg.HitMs
+	}
+	fetch := *req
+	ahead := int64(c.cfg.ReadAhead)
+	if c.cfg.AdaptivePrefetch && req.LBN != c.nextSeq {
+		ahead = 0
+	}
+	if max := c.inner.Capacity() - (req.LBN + int64(req.Blocks)); ahead > max {
+		ahead = max
+	}
+	fetch.Blocks = req.Blocks + int(ahead)
+	return c.cfg.HitMs + c.inner.EstimateAccess(&fetch, now)
+}

@@ -1,0 +1,279 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+)
+
+// countingDev charges a fixed media time and counts accesses.
+type countingDev struct {
+	accesses int
+	sectors  int64
+}
+
+func (d *countingDev) Name() string    { return "counting" }
+func (d *countingDev) Capacity() int64 { return 1 << 20 }
+func (d *countingDev) SectorSize() int { return 512 }
+func (d *countingDev) Reset()          {}
+func (d *countingDev) Access(r *core.Request, _ float64) float64 {
+	d.accesses++
+	d.sectors += int64(r.Blocks)
+	return 1.0
+}
+func (d *countingDev) EstimateAccess(*core.Request, float64) float64 { return 1.0 }
+
+func read(lbn int64, n int) *core.Request {
+	return &core.Request{Op: core.Read, LBN: lbn, Blocks: n}
+}
+
+func write(lbn int64, n int) *core.Request {
+	return &core.Request{Op: core.Write, LBN: lbn, Blocks: n}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeSectors: 0, SegmentSectors: 8},
+		{SizeSectors: 64, SegmentSectors: 0},
+		{SizeSectors: 8, SegmentSectors: 64},
+		{SizeSectors: 64, SegmentSectors: 8, ReadAhead: -1},
+		{SizeSectors: 64, SegmentSectors: 8, HitMs: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New should panic on invalid config")
+			}
+		}()
+		New(&countingDev{}, Config{})
+	}()
+}
+
+func TestMissThenHit(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	if svc := c.Access(read(0, 8), 0); svc != 1.01 {
+		t.Errorf("miss service = %g, want 1.01", svc)
+	}
+	if svc := c.Access(read(0, 8), 0); svc != 0.01 {
+		t.Errorf("hit service = %g, want 0.01", svc)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.HitRate() != 0.5 {
+		t.Errorf("stats: hits=%d misses=%d rate=%g", c.Hits(), c.Misses(), c.HitRate())
+	}
+	if d.accesses != 1 {
+		t.Errorf("media accesses = %d, want 1", d.accesses)
+	}
+}
+
+func TestReadAheadMakesSequentialHit(t *testing.T) {
+	// The speed-matching buffer effect (§2.4.11): a miss at LBN 0
+	// streams a segment ahead, so the next sequential request hits.
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 64, HitMs: 0.01})
+	c.Access(read(0, 8), 0)
+	for lbn := int64(8); lbn < 72; lbn += 8 {
+		if svc := c.Access(read(lbn, 8), 0); svc != 0.01 {
+			t.Fatalf("sequential read at %d missed (svc=%g)", lbn, svc)
+		}
+	}
+	if d.accesses != 1 {
+		t.Errorf("media accesses = %d, want 1 (one streamed fetch)", d.accesses)
+	}
+	if c.PrefetchedSectors() != 64 {
+		t.Errorf("prefetched = %d, want 64", c.PrefetchedSectors())
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	d := &countingDev{}
+	// Two segments of capacity.
+	c := New(d, Config{SizeSectors: 16, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	c.Access(read(0, 8), 0)  // seg 0
+	c.Access(read(8, 8), 0)  // seg 1
+	c.Access(read(0, 8), 0)  // touch seg 0 (hit)
+	c.Access(read(16, 8), 0) // seg 2: evicts seg 1 (LRU)
+	if svc := c.Access(read(0, 8), 0); svc != 0.01 {
+		t.Error("segment 0 should have survived (was touched)")
+	}
+	if svc := c.Access(read(8, 8), 0); svc == 0.01 {
+		t.Error("segment 1 should have been evicted")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	if svc := c.Access(write(0, 8), 0); svc != 1.0 {
+		t.Errorf("write service = %g, want full media time", svc)
+	}
+	// The write did not populate the cache.
+	if svc := c.Access(read(0, 8), 0); svc == 0.01 {
+		t.Error("write should not allocate")
+	}
+	if c.Hits() != 0 {
+		t.Errorf("hits = %d", c.Hits())
+	}
+}
+
+func TestPartialResidencyIsMiss(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	c.Access(read(0, 8), 0) // seg 0 resident
+	// Request spanning segs 0 and 1: partial → miss.
+	if svc := c.Access(read(4, 8), 0); svc == 0.01 {
+		t.Error("partially-resident request must miss")
+	}
+}
+
+func TestReadAheadClampedAtCapacity(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 1000, HitMs: 0})
+	lbn := c.Capacity() - 8
+	c.Access(read(lbn, 8), 0)
+	if d.sectors != 8 {
+		t.Errorf("fetched %d sectors at device end, want 8", d.sectors)
+	}
+}
+
+func TestEstimateDoesNotMutate(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	if est := c.EstimateAccess(read(0, 8), 0); est != 1.01 {
+		t.Errorf("miss estimate = %g", est)
+	}
+	if d.accesses != 0 {
+		t.Error("estimate touched the media")
+	}
+	c.Access(read(0, 8), 0)
+	if est := c.EstimateAccess(read(0, 8), 0); est != 0.01 {
+		t.Errorf("hit estimate = %g", est)
+	}
+	if est := c.EstimateAccess(write(0, 8), 0); est != 1.0 {
+		t.Errorf("write estimate = %g", est)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 0, HitMs: 0.01})
+	c.Access(read(0, 8), 0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.HitRate() != 0 {
+		t.Error("stats not cleared")
+	}
+	if svc := c.Access(read(0, 8), 0); svc == 0.01 {
+		t.Error("cache contents survived Reset")
+	}
+}
+
+func TestNameAndPassThrough(t *testing.T) {
+	c := New(&countingDev{}, DefaultConfig())
+	if c.Name() != "counting+cache" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if c.Capacity() != 1<<20 || c.SectorSize() != 512 {
+		t.Error("pass-through accessors wrong")
+	}
+}
+
+func TestSequentialStreamOnMEMSDevice(t *testing.T) {
+	// End-to-end: a sequential 64 KB-at-a-time scan over the real MEMS
+	// device with track-sized read-ahead should cut mean service time
+	// well below the uncached scan.
+	run := func(withCache bool) float64 {
+		dev := mems.MustDevice(mems.DefaultConfig())
+		var d core.Device = dev
+		if withCache {
+			d = New(dev, DefaultConfig())
+		}
+		now, total := 0.0, 0.0
+		const blocks = 128 // 64 KB
+		for i := 0; i < 200; i++ {
+			svc := d.Access(read(int64(i*blocks), blocks), now)
+			now += svc
+			total += svc
+		}
+		return total / 200
+	}
+	cached := run(true)
+	raw := run(false)
+	if cached >= raw {
+		t.Errorf("cached sequential scan %.3f ms should beat raw %.3f ms", cached, raw)
+	}
+}
+
+func TestRandomWorkloadLowHitRate(t *testing.T) {
+	// Random reads over a space far larger than the cache hit almost
+	// never — the paper's "block reuse is captured by host caches".
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 8, HitMs: 0.01})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		c.Access(read(rng.Int63n(c.Capacity()-16), 8), 0)
+	}
+	if hr := c.HitRate(); hr > 0.1 {
+		t.Errorf("random hit rate = %.2f, want ≈ 0", hr)
+	}
+}
+
+func TestAdaptivePrefetchSkipsRandom(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 64,
+		AdaptivePrefetch: true, HitMs: 0.01})
+	// Random-looking accesses: no prefetch issued.
+	c.Access(read(100, 8), 0)
+	c.Access(read(5000, 8), 0)
+	c.Access(read(900, 8), 0)
+	if c.PrefetchedSectors() != 0 {
+		t.Errorf("adaptive cache prefetched %d sectors on random traffic", c.PrefetchedSectors())
+	}
+	if d.sectors != 24 {
+		t.Errorf("media moved %d sectors, want 24 (demand only)", d.sectors)
+	}
+}
+
+func TestAdaptivePrefetchEngagesOnSequential(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 64,
+		AdaptivePrefetch: true, HitMs: 0.01})
+	c.Access(read(0, 8), 0) // first read: not yet sequential, no prefetch
+	if c.PrefetchedSectors() != 0 {
+		t.Fatal("prefetched on first read")
+	}
+	c.Access(read(8, 8), 0) // sequential continuation: prefetch engages
+	if c.PrefetchedSectors() != 64 {
+		t.Fatalf("prefetched %d, want 64", c.PrefetchedSectors())
+	}
+	// Subsequent sequential reads now hit.
+	for lbn := int64(16); lbn < 72; lbn += 8 {
+		if svc := c.Access(read(lbn, 8), 0); svc != 0.01 {
+			t.Fatalf("sequential read at %d missed", lbn)
+		}
+	}
+}
+
+func TestAdaptiveEstimateMatchesNextAccess(t *testing.T) {
+	d := &countingDev{}
+	c := New(d, Config{SizeSectors: 1024, SegmentSectors: 8, ReadAhead: 64,
+		AdaptivePrefetch: true, HitMs: 0})
+	c.Access(read(0, 8), 0)
+	// A sequential next read would prefetch: estimate reflects the bigger
+	// fetch (same 1 ms media charge in countingDev, so compare sectors
+	// via a direct Access instead).
+	est := c.EstimateAccess(read(8, 8), 0)
+	got := c.Access(read(8, 8), 0)
+	if est != got {
+		t.Errorf("estimate %g != access %g", est, got)
+	}
+}

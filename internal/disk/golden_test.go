@@ -1,0 +1,23 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"memsim/internal/core"
+)
+
+// TestGoldenValues pins exact disk-model outputs; see the MEMS golden
+// test for the rationale.
+func TestGoldenValues(t *testing.T) {
+	d := MustDevice(Atlas10K())
+	d.Reset()
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %.9f, want %.9f", name, got, want)
+		}
+	}
+	check("cold 4 KB access", d.Access(&core.Request{LBN: 1000000, Blocks: 8}, 0), 11.005919851)
+	check("following 8 KB access", d.Access(&core.Request{LBN: 9000000, Blocks: 16}, 3.25), 9.984519335)
+}

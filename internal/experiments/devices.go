@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"memsim/internal/core"
+	"memsim/internal/disk"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/sim"
+	"memsim/internal/workload"
+)
+
+// newMEMS builds the default (Table 1) MEMS device, optionally overriding
+// the settling-constant count (Fig. 8 and the "no settle" variants use 0
+// or 2).
+func newMEMS(settleConstants float64) *mems.Device {
+	cfg := mems.DefaultConfig()
+	cfg.SettleConstants = settleConstants
+	return mems.MustDevice(cfg)
+}
+
+// newDisk builds the Atlas-10K-style reference disk.
+func newDisk() *disk.Device { return disk.MustDevice(disk.Atlas10K()) }
+
+// schedulerSweep runs the random workload over every scheduler at every
+// rate and returns, per rate, mean response time and squared coefficient
+// of variation per scheduler — the two panels of Figs. 5 and 6.
+func schedulerSweep(d core.Device, rates []float64, p Params) (resp, cv [][]float64) {
+	resp = make([][]float64, len(rates))
+	cv = make([][]float64, len(rates))
+	for ri, rate := range rates {
+		resp[ri] = make([]float64, len(sched.Names()))
+		cv[ri] = make([]float64, len(sched.Names()))
+		for si, name := range sched.Names() {
+			s, err := sched.New(name)
+			if err != nil {
+				panic(err) // names come from sched.Names
+			}
+			src := workload.DefaultRandom(rate, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
+			res := sim.Run(d, s, src, sim.Options{Warmup: p.Warmup})
+			resp[ri][si] = res.Response.Mean()
+			cv[ri][si] = res.Response.SquaredCV()
+		}
+	}
+	return resp, cv
+}
+
+// sweepTables renders a schedulerSweep into the paper's two-panel form.
+func sweepTables(idPrefix, device string, rates []float64, resp, cv [][]float64) []Table {
+	a := Table{
+		ID:      idPrefix + "a",
+		Title:   "average response time vs. arrival rate, " + device + " (ms)",
+		Columns: append([]string{"rate(req/s)"}, sched.Names()...),
+	}
+	b := Table{
+		ID:      idPrefix + "b",
+		Title:   "squared coefficient of variation of response time, " + device,
+		Columns: append([]string{"rate(req/s)"}, sched.Names()...),
+	}
+	for ri, rate := range rates {
+		rowA := []string{f2(rate)}
+		rowB := []string{f2(rate)}
+		for si := range sched.Names() {
+			rowA = append(rowA, ms(resp[ri][si]))
+			rowB = append(rowB, f2(cv[ri][si]))
+		}
+		a.AddRow(rowA...)
+		b.AddRow(rowB...)
+	}
+	return []Table{a, b}
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, one function per artifact, plus the two quantified
+// extensions (fault tolerance and power) described in DESIGN.md §2.
+//
+// Each experiment returns Tables: named, captioned, printable grids whose
+// rows/series correspond to what the paper reports. Absolute numbers come
+// from this repository's re-derived device models; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Params sizes the simulations. Default is used by cmd/memsbench; Quick
+// shrinks runs for tests and benchmarks.
+type Params struct {
+	// Requests per open-arrival simulation run.
+	Requests int
+	// Warmup completions excluded from statistics.
+	Warmup int
+	// ClosedRequests per closed-loop (service-time) run.
+	ClosedRequests int
+	// Trials for Monte-Carlo experiments.
+	Trials int
+	// Seed for all generators.
+	Seed int64
+}
+
+// Default returns full-size parameters (minutes of CPU for the whole
+// suite).
+func Default() Params {
+	return Params{Requests: 20000, Warmup: 2000, ClosedRequests: 10000, Trials: 2000, Seed: 1}
+}
+
+// Quick returns reduced parameters for tests and benchmarks (seconds).
+func Quick() Params {
+	return Params{Requests: 3000, Warmup: 300, ClosedRequests: 1500, Trials: 200, Seed: 1}
+}
+
+// Table is one printable result grid.
+type Table struct {
+	// ID is the artifact identifier ("fig6a", "table2", ...).
+	ID string
+	// Title is the caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are formatted value cells.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "── %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Runner produces the tables for one experiment.
+type Runner func(Params) []Table
+
+// registry maps experiment IDs to runners, populated by each artifact
+// file's init.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate registration of " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment identifiers in a stable order.
+func IDs() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, p Params) ([]Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(p), nil
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(p Params) []Table {
+	var out []Table
+	for _, id := range IDs() {
+		ts, _ := Run(id, p)
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// ms formats a millisecond value for table cells.
+func ms(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a dimensionless value.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

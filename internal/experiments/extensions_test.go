@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRAIDShape(t *testing.T) {
+	ts := RAID(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Row 0: RAID-5 small write — the §6.2 claim needs a large disk/MEMS
+	// gap (Table 2's rotation vs. turnaround, now at array level).
+	memsW, diskW := cell(t, tb.Rows[0][1]), cell(t, tb.Rows[0][2])
+	if diskW < 5*memsW {
+		t.Errorf("RAID-5 small write gap too small: MEMS %g vs disk %g", memsW, diskW)
+	}
+	// Degraded reads cost more than healthy reads on both devices.
+	if cell(t, tb.Rows[2][1]) < cell(t, tb.Rows[1][1])*0.9 {
+		t.Errorf("MEMS degraded read cheaper than healthy: %v", tb.Rows)
+	}
+	// Rebuild rows are formatted in seconds.
+	if !strings.Contains(tb.Rows[3][1], " s") {
+		t.Errorf("rebuild cell %q not in seconds", tb.Rows[3][1])
+	}
+}
+
+func TestCacheStudyShape(t *testing.T) {
+	ts := CacheStudy(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	get := func(workload, mode string) (mean, hit float64) {
+		for _, row := range tb.Rows {
+			if strings.HasPrefix(row[0], workload) && row[1] == mode {
+				h := 0.0
+				if row[3] != "—" {
+					h = cell(t, row[3])
+				}
+				return cell(t, row[2]), h
+			}
+		}
+		t.Fatalf("missing row %s/%s", workload, mode)
+		return 0, 0
+	}
+	// Sequential scan: any buffering must beat raw, with a high hit rate.
+	seqOff, _ := get("sequential", "off")
+	seqFixed, seqHit := get("sequential", "fixed")
+	seqAdapt, _ := get("sequential", "adaptive")
+	if seqFixed >= seqOff || seqAdapt >= seqOff {
+		t.Errorf("buffered sequential scan (%g/%g) should beat raw %g", seqFixed, seqAdapt, seqOff)
+	}
+	if seqHit < 0.5 {
+		t.Errorf("sequential hit rate = %g, want high", seqHit)
+	}
+	// Random: fixed read-ahead taxes every miss; adaptive must not.
+	rndOff, _ := get("random", "off")
+	rndFixed, _ := get("random", "fixed")
+	rndAdapt, _ := get("random", "adaptive")
+	if rndFixed <= rndOff {
+		t.Errorf("fixed read-ahead should tax random traffic: fixed %g vs off %g", rndFixed, rndOff)
+	}
+	if rndAdapt > rndOff*1.1 {
+		t.Errorf("adaptive prefetch should not tax random traffic: %g vs %g", rndAdapt, rndOff)
+	}
+}
+
+func TestAgingShape(t *testing.T) {
+	ts := Aging(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// ASPTF(0.01) must cut SPTF's maximum response sharply at the knee.
+	var sptfMax, agedMax float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "SPTF":
+			sptfMax = cell(t, row[3])
+		case "ASPTF(0.01)":
+			agedMax = cell(t, row[3])
+		}
+	}
+	if sptfMax == 0 || agedMax == 0 {
+		t.Fatalf("missing rows: %v", tb.Rows)
+	}
+	if agedMax*1.5 > sptfMax {
+		t.Errorf("aging should tame the tail: SPTF max %g vs ASPTF %g", sptfMax, agedMax)
+	}
+}
+
+func TestRemapStudyShape(t *testing.T) {
+	ts := RemapStudy(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Spare-tip remap column is flat (identical to defect-free).
+	base := tb.Rows[0][3]
+	for _, row := range tb.Rows {
+		if row[3] != base {
+			t.Errorf("spare-tip remap column should be flat: %v", tb.Rows)
+		}
+	}
+	// Slip remapping slows both devices monotonically, disk far worse.
+	prevD, prevM := 0.0, 0.0
+	for i, row := range tb.Rows {
+		d, m := cell(t, row[1]), cell(t, row[2])
+		if i > 0 && (d < prevD || m < prevM) {
+			t.Errorf("slip cost not monotone: %v", tb.Rows)
+		}
+		prevD, prevM = d, m
+	}
+	lastD, lastM := cell(t, tb.Rows[3][1]), cell(t, tb.Rows[3][2])
+	if lastD < 3*lastM {
+		t.Errorf("disk slip penalty (%g) should dwarf MEMS (%g)", lastD, lastM)
+	}
+}
+
+func TestGenerationsShape(t *testing.T) {
+	ts := Generations(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Capacity and bandwidth grow; access time shrinks.
+	for i := 1; i < 3; i++ {
+		if cell(t, tb.Rows[i][1]) <= cell(t, tb.Rows[i-1][1]) {
+			t.Errorf("capacity not increasing: %v", tb.Rows)
+		}
+		if cell(t, tb.Rows[i][2]) <= cell(t, tb.Rows[i-1][2]) {
+			t.Errorf("bandwidth not increasing: %v", tb.Rows)
+		}
+		if cell(t, tb.Rows[i][3]) >= cell(t, tb.Rows[i-1][3]) {
+			t.Errorf("access time not decreasing: %v", tb.Rows)
+		}
+	}
+}
+
+func TestStartupShape(t *testing.T) {
+	ts := Startup(tiny())
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	shelf := ts[0]
+	// MEMS column is constant (concurrent init); disk columns scale with
+	// device count (serialized spin-up).
+	if shelf.Rows[0][1] != shelf.Rows[2][1] {
+		t.Errorf("MEMS init should not scale with device count: %v", shelf.Rows)
+	}
+	if cell(t, shelf.Rows[2][2]) != 16*cell(t, shelf.Rows[0][2]) {
+		t.Errorf("serialized disk spin-up should scale linearly: %v", shelf.Rows)
+	}
+	sync := ts[1]
+	memsW, diskW := cell(t, sync.Rows[0][1]), cell(t, sync.Rows[1][1])
+	if diskW < 5*memsW {
+		t.Errorf("synchronous write gap too small: MEMS %g vs disk %g", memsW, diskW)
+	}
+}
+
+func TestPowerCompressionTable(t *testing.T) {
+	ts := Power(tiny())
+	if len(ts) != 2 || ts[1].ID != "power-compress" {
+		t.Fatalf("expected power-compress table, got %d tables", len(ts))
+	}
+	tb := ts[1]
+	// Cheap-CPU rows are worthwhile; the expensive-CPU row is not.
+	if tb.Rows[0][3] != "true" {
+		t.Errorf("cheap 1.5× compression should win: %v", tb.Rows[0])
+	}
+	if tb.Rows[len(tb.Rows)-1][3] != "false" {
+		t.Errorf("expensive CPU should lose: %v", tb.Rows[len(tb.Rows)-1])
+	}
+}
+
+func TestShuffleStudyShape(t *testing.T) {
+	ts := ShuffleStudy(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Static rows have zero migration; adaptive rows have positive
+	// migration whenever anything moved.
+	for i, row := range tb.Rows {
+		mig := cell(t, row[3])
+		if i%2 == 0 && mig != 0 {
+			t.Errorf("static row with migration: %v", row)
+		}
+		if mig < 0 {
+			t.Errorf("negative migration: %v", row)
+		}
+	}
+	// With stable hotspots (row pair 0/1), the adaptive layout's raw
+	// service time must beat static — the organ-pipe benefit exists —
+	// even though migration may erase it.
+	static0, adapt0 := cell(t, tb.Rows[0][2]), cell(t, tb.Rows[1][2])
+	if adapt0 >= static0 {
+		t.Errorf("stable hotspots: adaptive service %g should beat static %g", adapt0, static0)
+	}
+}
+
+func TestBusStudyShape(t *testing.T) {
+	ts := BusStudy(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Media-only aggregate scales ~linearly with sled count; the shared
+	// bus clamps it near 160 MB/s.
+	raw1, raw8 := cell(t, tb.Rows[0][1]), cell(t, tb.Rows[3][1])
+	if raw8 < 6*raw1 {
+		t.Errorf("media-only aggregate should scale: %g → %g", raw1, raw8)
+	}
+	sh8 := cell(t, tb.Rows[3][2])
+	if sh8 > 170 {
+		t.Errorf("8 sleds on one bus = %g MB/s, exceeds the 160 MB/s bus", sh8)
+	}
+	sh1 := cell(t, tb.Rows[0][2])
+	if sh1 < raw1*0.9 {
+		t.Errorf("one sled should not be bus-limited: %g vs %g", sh1, raw1)
+	}
+}
+
+func TestStripingStudyShape(t *testing.T) {
+	ts := StripingStudy(tiny())
+	tb := ts[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	num := func(s string) float64 {
+		if s == "—" {
+			return 1e12 // saturated
+		}
+		return cell(t, s)
+	}
+	// At every rate, more sleds never respond slower; at 4000 req/s one
+	// sled is saturated while four sleds are comfortable.
+	for _, row := range tb.Rows {
+		one, two, four := num(row[1]), num(row[2]), num(row[3])
+		if two > one*1.2 || four > two*1.2 {
+			t.Errorf("striping made things worse: %v", row)
+		}
+	}
+	r4k := tb.Rows[2]
+	if num(r4k[1]) < 10*num(r4k[3]) {
+		t.Errorf("at 4000 req/s, 4 sleds (%v) should be ≫ faster than 1 (%v)", r4k[3], r4k[1])
+	}
+}
+
+func TestSeekProfileShape(t *testing.T) {
+	ts := SeekProfile(tiny())
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	memsT := ts[0]
+	// X seeks grow with distance, and the edge interval is never faster
+	// than the centered one (§2.4.4 / §5.1).
+	prevC, prevE := 0.0, 0.0
+	for _, row := range memsT.Rows {
+		c, e := cell(t, row[1]), cell(t, row[2])
+		if c < prevC || e < prevE {
+			t.Errorf("seek curve not monotone: %v", memsT.Rows)
+		}
+		if e+1e-9 < c {
+			t.Errorf("edge interval (%g) faster than centered (%g)", e, c)
+		}
+		prevC, prevE = c, e
+	}
+	// The disk curve is monotone and spans ≈1–10.5 ms.
+	diskT := ts[1]
+	first := cell(t, diskT.Rows[0][1])
+	last := cell(t, diskT.Rows[len(diskT.Rows)-1][1])
+	if first < 0.5 || first > 1.5 || last < 9 || last > 12 {
+		t.Errorf("disk seek extremes = %g…%g", first, last)
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+func init() { register("fig5", Fig5) }
+
+// diskRates sweeps the Atlas-10K-class disk from light load to beyond
+// FCFS saturation (mean service ≈ 8.4 ms ⇒ FCFS saturates near
+// 120 req/s; the seek-reducing schedulers carry further, as in Fig. 5).
+var diskRates = []float64{20, 40, 60, 80, 100, 120, 140, 160, 180}
+
+// Fig5 reproduces Fig. 5: the four scheduling algorithms on the Atlas 10K
+// under the random workload — (a) average response time, (b) squared
+// coefficient of variation.
+func Fig5(p Params) []Table {
+	d := newDisk()
+	resp, cv := schedulerSweep(d, diskRates, p)
+	return sweepTables("fig5", "Atlas 10K", diskRates, resp, cv)
+}

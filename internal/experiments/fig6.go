@@ -1,0 +1,16 @@
+package experiments
+
+func init() { register("fig6", Fig6) }
+
+// memsRates sweeps the MEMS device. Mean random 4 KB service is
+// ≈ 0.8 ms, so FCFS saturates near 1250 req/s while the seek-aware
+// schedulers carry into the 1500–2500 req/s region the paper plots.
+var memsRates = []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 2500}
+
+// Fig6 reproduces Fig. 6: the scheduling algorithms on the MEMS-based
+// storage device under the random workload.
+func Fig6(p Params) []Table {
+	d := newMEMS(1)
+	resp, cv := schedulerSweep(d, memsRates, p)
+	return sweepTables("fig6", "MEMS device", memsRates, resp, cv)
+}

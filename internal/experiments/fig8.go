@@ -1,0 +1,22 @@
+package experiments
+
+import "fmt"
+
+func init() { register("fig8", Fig8) }
+
+// Fig8 reproduces Fig. 8: the settling-time sensitivity study. The random
+// workload is re-run on the MEMS device with zero and with two settling
+// time constants (the default elsewhere is one). With two constants, X
+// seeks dominate and SSTF_LBN closely approximates SPTF; with zero, the Y
+// dimension matters and SPTF pulls away (§4.4).
+func Fig8(p Params) []Table {
+	var out []Table
+	for _, k := range []float64{0, 2} {
+		d := newMEMS(k)
+		resp, cv := schedulerSweep(d, memsRates, p)
+		prefix := fmt.Sprintf("fig8-settle%g", k)
+		ts := sweepTables(prefix, fmt.Sprintf("MEMS device, %g settling time constants", k), memsRates, resp, cv)
+		out = append(out, ts...)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+	"memsim/internal/sim"
+	"memsim/internal/workload"
+)
+
+func init() { register("fig9", Fig9) }
+
+// subregionRequests builds closed-loop 4 KB reads whose start and end lie
+// inside subregion (xBand, yBand) of an n×n grid over the sled.
+func subregionRequests(g *mems.Geometry, n, xBand, yBand, count int, seed int64) []*core.Request {
+	rng := rand.New(rand.NewSource(seed))
+	cLo, cHi := xBand*g.Cylinders/n, (xBand+1)*g.Cylinders/n
+	rLo, rHi := yBand*g.RowsPerTrack/n, (yBand+1)*g.RowsPerTrack/n
+	reqs := make([]*core.Request, count)
+	for i := range reqs {
+		cyl := cLo + rng.Intn(cHi-cLo)
+		track := rng.Intn(g.TracksPerCylinder)
+		row := rLo + rng.Intn(rHi-rLo)
+		reqs[i] = &core.Request{
+			Op:     core.Read,
+			LBN:    g.LBN(cyl, track, row, 0),
+			Blocks: 8, // 4 KB spans a single row pass
+		}
+	}
+	return reqs
+}
+
+// Fig9 reproduces Fig. 9: the sled is divided into a 5×5 grid of
+// subregions and the average 4 KB service time is measured for requests
+// confined to each subregion — once with the default X settle time and
+// once with zero settle (the two numbers per box in the paper's figure).
+// The spring restoring forces make the outer subregions 10–20% slower
+// than the center (§5.1).
+func Fig9(p Params) []Table {
+	const n = 5
+	withSettle := newMEMS(1)
+	noSettle := newMEMS(0)
+	g := withSettle.Geometry()
+
+	t := Table{
+		ID:      "fig9",
+		Title:   "average 4 KB service time per subregion, settle=1 / settle=0 (ms)",
+		Columns: []string{"y-band \\ x-band", "x0 (edge)", "x1", "x2 (center)", "x3", "x4 (edge)"},
+	}
+	for y := 0; y < n; y++ {
+		row := []string{fmt.Sprintf("y%d", y)}
+		for x := 0; x < n; x++ {
+			reqs := subregionRequests(g, n, x, y, p.ClosedRequests, p.Seed+int64(y*n+x))
+			a := sim.RunClosed(withSettle, workload.NewFromSlice(cloneReqs(reqs)), sim.Options{})
+			b := sim.RunClosed(noSettle, workload.NewFromSlice(cloneReqs(reqs)), sim.Options{})
+			row = append(row, fmt.Sprintf("%.3f/%.3f", a.Service.Mean(), b.Service.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}
+
+// cloneReqs deep-copies requests so two runs don't share bookkeeping.
+func cloneReqs(reqs []*core.Request) []*core.Request {
+	out := make([]*core.Request, len(reqs))
+	for i, r := range reqs {
+		c := *r
+		out[i] = &c
+	}
+	return out
+}

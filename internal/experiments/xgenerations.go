@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+)
+
+func init() { register("generations", Generations) }
+
+// Generations is a sensitivity study of the device model across
+// successive MEMS generations (extension; the configurations are
+// extrapolations documented in internal/mems/generations.go, not
+// published parameter sets). It reports how density, per-tip rate and
+// actuator improvements move the headline figures of merit.
+func Generations(p Params) []Table {
+	t := Table{
+		ID:    "generations",
+		Title: "device generations (G2/G3 are extrapolations; see generations.go)",
+		Columns: []string{"generation", "capacity(GB)", "stream(MB/s)",
+			"avg 4 KB access(ms)", "full-stroke seek(ms)"},
+	}
+	trials := p.Trials
+	if trials > 2000 {
+		trials = 2000
+	}
+	gens := []struct {
+		name string
+		cfg  mems.Config
+	}{
+		{"G1 (Table 1)", mems.ConfigGen1()},
+		{"G2", mems.ConfigGen2()},
+		{"G3", mems.ConfigGen3()},
+	}
+	for _, gen := range gens {
+		d, err := mems.NewDevice(gen.cfg)
+		if err != nil {
+			panic(err) // generation configs are maintained with the model
+		}
+		g := d.Geometry()
+		rng := rand.New(rand.NewSource(p.Seed))
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			lbn := rng.Int63n(g.TotalSectors - 8)
+			sum += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 8}, 0)
+		}
+		t.AddRow(gen.name,
+			fmt.Sprintf("%.2f", float64(g.CapacityBytes())/1e9),
+			fmt.Sprintf("%.1f", g.StreamBandwidth()/1e6),
+			ms(sum/float64(trials)),
+			ms(d.SeekX(0, g.Cylinders-1)))
+	}
+	return []Table{t}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memsim/internal/core"
+	"memsim/internal/layout"
+)
+
+func init() { register("shuffle", ShuffleStudy) }
+
+// ShuffleStudy quantifies the organ-pipe maintenance cost that §5.3
+// charges against it (extension): the layout "requires some state to be
+// kept indicating each block's popularity" and "blocks must be
+// periodically shuffled". The workload splits its traffic between two
+// hot cylinder bands at arbitrary positions (plus background noise);
+// centering both bands shortens the cross-hotspot seeks, but the
+// shuffler must move whole cylinders of data to do it. The study reports
+// the service-time benefit against the migration cost, charged at
+// streaming bandwidth — and the drift rate at which bookkeeping erases
+// the benefit, which is why the paper prefers the static bipartite
+// layouts.
+func ShuffleStudy(p Params) []Table {
+	t := Table{
+		ID:    "shuffle",
+		Title: "adaptive organ pipe under two drifting hotspots (8-sector requests)",
+		Columns: []string{"hotspots move", "layout", "service(ms)",
+			"migration(ms/req)", "effective(ms)"},
+	}
+	n := p.ClosedRequests
+	for _, frac := range []int{1, 4, 16} { // drift 1×, 4×, 16× per run
+		drift := n / frac
+		label := fmt.Sprintf("%d×/run", frac)
+		svc := shuffleStatic(p, n, drift)
+		t.AddRow(label, "simple (static)", ms(svc), ms(0), ms(svc))
+		svcA, mig := shuffleAdaptive(p, n, drift)
+		t.AddRow(label, "adaptive organ pipe", ms(svcA), ms(mig), ms(svcA+mig))
+	}
+	return []Table{t}
+}
+
+// shuffleWorkload drives 8-sector reads: 90% split between two hot
+// cylinder-extents bands, 10% uniform. The band positions re-randomize
+// every drift requests.
+func shuffleWorkload(extents int64, extentBlocks int64, count, drift int, seed int64,
+	next func(lbn int64)) {
+	rng := rand.New(rand.NewSource(seed))
+	const band = 8 // extents per hotspot
+	pick := func() int64 { return rng.Int63n(extents - band) }
+	hotA, hotB := pick(), pick()
+	for i := 0; i < count; i++ {
+		if drift > 0 && i > 0 && i%drift == 0 {
+			hotA, hotB = pick(), pick()
+		}
+		var e int64
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			e = hotA + rng.Int63n(band)
+		case r < 0.90:
+			e = hotB + rng.Int63n(band)
+		default:
+			e = rng.Int63n(extents)
+		}
+		off := rng.Int63n(extentBlocks - 8)
+		next(e*extentBlocks + off)
+	}
+}
+
+// shuffleStatic measures the identity layout.
+func shuffleStatic(p Params, count, drift int) float64 {
+	d := newMEMS(1)
+	g := d.Geometry()
+	ext := int64(g.SectorsPerCylinder)
+	sum, now := 0.0, 0.0
+	n := 0
+	shuffleWorkload(d.Capacity()/ext, ext, count, drift, p.Seed, func(lbn int64) {
+		svc := d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 8}, now)
+		now += svc
+		sum += svc
+		n++
+	})
+	return sum / float64(n)
+}
+
+// shuffleAdaptive measures the adaptive organ pipe with incremental
+// reshuffling (up to 4 extent swaps every 250 requests), charging
+// migration at streaming bandwidth.
+func shuffleAdaptive(p Params, count, drift int) (service, migration float64) {
+	d := newMEMS(1)
+	g := d.Geometry()
+	ext := int64(g.SectorsPerCylinder)
+	aop, err := layout.NewAdaptiveOrganPipe(d.Capacity(), ext)
+	if err != nil {
+		panic(err) // capacity is cylinders × SectorsPerCylinder by construction
+	}
+	md := core.NewManagedDevice(d, aop)
+	perBlockMs := 2 * float64(g.SectorSize) / g.StreamBandwidth() * 1e3
+	sum, mig, now := 0.0, 0.0, 0.0
+	n := 0
+	shuffleWorkload(d.Capacity()/ext, ext, count, drift, p.Seed, func(lbn int64) {
+		aop.Record(lbn, 8)
+		svc := md.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 8}, now)
+		now += svc
+		sum += svc
+		n++
+		if n%250 == 0 {
+			moved := aop.ReshuffleN(4)
+			cost := float64(moved) * perBlockMs
+			mig += cost
+			now += cost
+		}
+	})
+	return sum / float64(n), mig / float64(n)
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"memsim/internal/core"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/sim"
+	"memsim/internal/workload"
+)
+
+func init() { register("striping", StripingStudy) }
+
+// StripingStudy (extension): the paper's TPC-C testbed striped its
+// database across two drives — the standard way to scale a volume's
+// throughput. The event-driven multi-queue simulator drives the random
+// workload over striped MEMS volumes of 1, 2 and 4 sleds under SPTF;
+// each member runs its own queue, so the volume's saturation rate scales
+// with member count.
+func StripingStudy(p Params) []Table {
+	t := Table{
+		ID:      "striping",
+		Title:   "striped MEMS volume: mean response (ms) vs. arrival rate",
+		Columns: []string{"rate(req/s)", "1 sled", "2 sleds", "4 sleds"},
+	}
+	rates := []float64{1000, 2000, 4000, 6000, 8000}
+	cells := make(map[[2]int]float64) // (rateIdx, nIdx) → response
+	counts := []int{1, 2, 4}
+	for ri, rate := range rates {
+		for ni, n := range counts {
+			cells[[2]int{ri, ni}] = stripedResponse(n, rate, p)
+		}
+	}
+	for ri, rate := range rates {
+		row := []string{f2(rate)}
+		for ni := range counts {
+			v := cells[[2]int{ri, ni}]
+			if v < 0 {
+				row = append(row, "—")
+			} else {
+				row = append(row, ms(v))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}
+
+// stripedResponse simulates an n-sled volume at the given rate and
+// returns the mean response time, or −1 when the configuration is
+// hopelessly saturated (mean response above 1 s).
+func stripedResponse(n int, rate float64, p Params) float64 {
+	devs := make([]core.Device, n)
+	scheds := make([]core.Scheduler, n)
+	for i := range devs {
+		devs[i] = mems.MustDevice(mems.DefaultConfig())
+		scheds[i] = sched.NewSPTF()
+	}
+	per := devs[0].Capacity()
+	// Volume-level requests stay within one member strip: the stripe
+	// unit is one cylinder, and the generator caps request size below it.
+	unit := int64(2700)
+	cfg := workload.RandomConfig{
+		Rate:         rate,
+		ReadFraction: 0.67,
+		MeanBytes:    4096,
+		MaxBytes:     64 * 1024,
+		SectorSize:   devs[0].SectorSize(),
+		Capacity:     per * int64(n),
+		Count:        p.Requests,
+		Seed:         p.Seed,
+	}
+	src := workload.NewRandom(cfg)
+	res := sim.RunMulti(devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
+	if res.Response.Mean() > 1000 {
+		return -1
+	}
+	return res.Response.Mean()
+}

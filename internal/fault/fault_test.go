@@ -1,0 +1,308 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Tips: 0, DataTips: 64, ECCTips: 2, SpareTips: 0},
+		{Tips: 6400, DataTips: 0, ECCTips: 2, SpareTips: 0},
+		{Tips: 6400, DataTips: 64, ECCTips: -1, SpareTips: 0},
+		{Tips: 6400, DataTips: 64, ECCTips: 2, SpareTips: 6400},
+		{Tips: 6400, DataTips: 64, ECCTips: 3, SpareTips: 0},  // 6400 % 67 != 0
+		{Tips: 600, DataTips: 250, ECCTips: 50, SpareTips: 0}, // width > 256
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+func TestDefaultConfigDerived(t *testing.T) {
+	c := DefaultConfig()
+	if c.StripeWidth() != 66 {
+		t.Errorf("stripe width = %d, want 66", c.StripeWidth())
+	}
+	if c.Stripes() != (6400-130)/66 {
+		t.Errorf("stripes = %d", c.Stripes())
+	}
+}
+
+func TestFailTipRemapsToSpare(t *testing.T) {
+	a, err := NewArray(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FailTip(100) {
+		t.Fatal("first failure with spares available must remain recoverable")
+	}
+	sp, ok := a.RemappedTo(100)
+	if !ok {
+		t.Fatal("tip 100 not remapped despite available spares")
+	}
+	if sp < a.Config().Tips-a.Config().SpareTips {
+		t.Errorf("remapped to non-spare tip %d", sp)
+	}
+	if a.SparesLeft() != DefaultConfig().SpareTips-1 {
+		t.Errorf("spares left = %d", a.SparesLeft())
+	}
+	if a.DegradedStripes() != 0 {
+		t.Error("remapped failure should not degrade any stripe")
+	}
+}
+
+func TestFailTipIdempotent(t *testing.T) {
+	a, _ := NewArray(DefaultConfig())
+	a.FailTip(5)
+	n := a.SparesLeft()
+	a.FailTip(5)
+	if a.SparesLeft() != n {
+		t.Error("re-failing a tip consumed another spare")
+	}
+	if a.FailedTips() != 1 {
+		t.Errorf("failed tips = %d, want 1", a.FailedTips())
+	}
+}
+
+func TestECCAbsorbsFailuresAfterSparesExhausted(t *testing.T) {
+	// With no spares, up to ECCTips failures per stripe are recoverable;
+	// one more causes loss.
+	cfg := Config{Tips: 660, DataTips: 64, ECCTips: 2, SpareTips: 0}
+	a, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FailTip(0) || !a.FailTip(1) {
+		t.Fatal("ECC should absorb the first two failures in a stripe")
+	}
+	if a.DegradedStripes() != 1 {
+		t.Errorf("degraded stripes = %d, want 1", a.DegradedStripes())
+	}
+	if a.FailTip(2) {
+		t.Error("third failure in one stripe must exceed 2 ECC tips")
+	}
+	if !a.DataLoss() {
+		t.Error("DataLoss should report true")
+	}
+}
+
+func TestFailuresInDifferentStripesIndependent(t *testing.T) {
+	cfg := Config{Tips: 650, DataTips: 64, ECCTips: 1, SpareTips: 0}
+	a, _ := NewArray(cfg)
+	// One failure in each of the 10 stripes: all recoverable.
+	for g := 0; g < 10; g++ {
+		if !a.FailTip(g * 65) {
+			t.Fatalf("failure in stripe %d should be recoverable", g)
+		}
+	}
+	if a.DegradedStripes() != 10 {
+		t.Errorf("degraded = %d, want 10", a.DegradedStripes())
+	}
+}
+
+func TestSpareDeathReexposesFailure(t *testing.T) {
+	cfg := Config{Tips: 661, DataTips: 64, ECCTips: 2, SpareTips: 1}
+	a, _ := NewArray(cfg)
+	a.FailTip(10) // remapped to spare 660
+	sp, ok := a.RemappedTo(10)
+	if !ok || sp != 660 {
+		t.Fatalf("remap = %d, %v", sp, ok)
+	}
+	// The spare itself dies: tip 10's failure now burdens its stripe ECC.
+	a.FailTip(660)
+	if _, ok := a.RemappedTo(10); ok {
+		t.Error("dead spare still listed as cover")
+	}
+	if a.DegradedStripes() != 1 {
+		t.Errorf("degraded = %d, want 1", a.DegradedStripes())
+	}
+}
+
+func TestUnusedSpareDeathShrinksPool(t *testing.T) {
+	cfg := Config{Tips: 662, DataTips: 64, ECCTips: 2, SpareTips: 2}
+	a, _ := NewArray(cfg)
+	a.FailTip(661) // an idle spare dies
+	if a.SparesLeft() != 1 {
+		t.Errorf("spares left = %d, want 1", a.SparesLeft())
+	}
+	if a.DataLoss() {
+		t.Error("spare death alone should not lose data")
+	}
+}
+
+func TestMediaDefectsRecoverable(t *testing.T) {
+	a, _ := NewArray(DefaultConfig())
+	a.MediaDefect(7)
+	a.MediaDefect(8)
+	if a.Defects() != 2 {
+		t.Errorf("defects = %d", a.Defects())
+	}
+	if a.DataLoss() || a.DegradedStripes() != 0 {
+		t.Error("media defects must be absorbed by ECC")
+	}
+	// A defect on an already-failed tip is subsumed.
+	a.FailTip(9)
+	a.MediaDefect(9)
+	if a.Defects() != 2 {
+		t.Error("defect on failed tip double-counted")
+	}
+}
+
+func TestConvertDataToSpares(t *testing.T) {
+	cfg := Config{Tips: 660, DataTips: 64, ECCTips: 2, SpareTips: 0}
+	a, _ := NewArray(cfg)
+	if a.SparesLeft() != 0 {
+		t.Fatal("expected no spares initially")
+	}
+	added := a.ConvertDataToSpares()
+	if added != 66 {
+		t.Errorf("converted %d tips, want 66", added)
+	}
+	if a.SparesLeft() != 66 {
+		t.Errorf("spares = %d", a.SparesLeft())
+	}
+	// New failures now remap instead of degrading.
+	if !a.FailTip(0) {
+		t.Fatal("failure should remap to converted spare")
+	}
+	if a.DegradedStripes() != 0 {
+		t.Error("remap should keep stripes clean")
+	}
+}
+
+func TestPanicsOnBadTipIDs(t *testing.T) {
+	a, _ := NewArray(DefaultConfig())
+	for _, f := range []func(){
+		func() { a.FailTip(-1) },
+		func() { a.FailTip(6400) },
+		func() { a.MediaDefect(-1) },
+		func() { a.MediaDefect(6400) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLossProbabilityMonotonicInFailures(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(6))
+	p50, err := LossProbability(cfg, 50, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p400, err := LossProbability(cfg, 400, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 > p400 {
+		t.Errorf("loss probability decreased with more failures: %g vs %g", p50, p400)
+	}
+	// With spares covering the first 128 failures and 2 ECC tips per
+	// stripe beyond that, 50 random failures essentially never lose data.
+	if p50 > 0.01 {
+		t.Errorf("P(loss | 50 failures) = %g, want ≈ 0", p50)
+	}
+}
+
+func TestLossProbabilityDiskAnalogy(t *testing.T) {
+	// A "disk-like" configuration — no ECC, no spares — loses data on the
+	// very first head/tip failure; the MEMS default tolerates hundreds
+	// (§6.1.1's contrast).
+	disk := Config{Tips: 6400, DataTips: 64, ECCTips: 0, SpareTips: 0}
+	rng := rand.New(rand.NewSource(7))
+	p, err := LossProbability(disk, 1, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("P(loss | 1 failure, no redundancy) = %g, want 1", p)
+	}
+	mems := DefaultConfig()
+	pm, err := LossProbability(mems, 100, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm > 0.05 {
+		t.Errorf("P(loss | 100 failures, default redundancy) = %g, want ≈ 0", pm)
+	}
+}
+
+func TestLossProbabilityErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := LossProbability(Config{}, 1, 10, rng); err == nil {
+		t.Error("expected config error")
+	}
+	if _, err := LossProbability(DefaultConfig(), -1, 10, rng); err == nil {
+		t.Error("expected k error")
+	}
+	if _, err := LossProbability(DefaultConfig(), 1, 0, rng); err == nil {
+		t.Error("expected trials error")
+	}
+}
+
+func TestArrayNeverLosesWithFewerFailuresThanECC(t *testing.T) {
+	// Property: with spares + ECC, any failure set smaller than
+	// SpareTips + ECCTips + 1 is always recoverable (spares soak the
+	// first SpareTips failures regardless of placement).
+	f := func(seed int64) bool {
+		cfg := Config{Tips: 660, DataTips: 64, ECCTips: 2, SpareTips: 0}
+		a, err := NewArray(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Two failures anywhere are always recoverable (ECC = 2).
+		ids := rng.Perm(cfg.Tips)[:2]
+		for _, id := range ids {
+			a.FailTip(id)
+		}
+		return !a.DataLoss()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekErrorPenalties(t *testing.T) {
+	// Expected disk penalty with mid-rotation retry lands near re-seek +
+	// half rotation; MEMS penalty is turnarounds + short seek, an order
+	// of magnitude lower (§6.1.3).
+	disk := DiskSeekErrorPenalty(1.5, 5.985, 0.5)
+	if disk < 4 || disk > 5 {
+		t.Errorf("disk seek-error penalty = %g ms", disk)
+	}
+	mems := MEMSSeekErrorPenalty(0.07, 0.2, 2)
+	if mems < 0.2 || mems > 0.5 {
+		t.Errorf("MEMS seek-error penalty = %g ms", mems)
+	}
+	if mems*5 > disk {
+		t.Errorf("MEMS penalty %g should be far below disk %g", mems, disk)
+	}
+	for _, f := range []func(){
+		func() { DiskSeekErrorPenalty(1, 5, 1.5) },
+		func() { MEMSSeekErrorPenalty(0.07, 0.1, 3) },
+		func() { MEMSSeekErrorPenalty(0.07, 0.1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFMulProperties(t *testing.T) {
+	// Multiplication by 1 is identity, by 0 is 0; commutative;
+	// distributes over XOR (addition).
+	f := func(a, b, c byte) bool {
+		if gfMul(a, 1) != a || gfMul(a, 0) != 0 {
+			return false
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDivInvertsMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for _, b := range []int{1, 2, 3, 7, 29, 133, 255} {
+			p := gfMul(byte(a), byte(b))
+			if got := gfDiv(p, byte(b)); got != byte(a) {
+				t.Fatalf("(%d·%d)/%d = %d", a, b, b, got)
+			}
+		}
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestNewRSValidation(t *testing.T) {
+	for _, c := range []struct{ k, m int }{{0, 1}, {-1, 2}, {1, -1}, {200, 100}} {
+		if _, err := NewRS(c.k, c.m); err == nil {
+			t.Errorf("NewRS(%d,%d): expected error", c.k, c.m)
+		}
+	}
+	if _, err := NewRS(64, 2); err != nil {
+		t.Errorf("NewRS(64,2): %v", err)
+	}
+}
+
+func mkShards(k, m, n int, rng *rand.Rand) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, n)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	return shards
+}
+
+func TestRSEncodeReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ k, m int }{{4, 2}, {64, 2}, {64, 8}, {10, 1}, {1, 3}} {
+		rs, err := NewRS(c.k, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := mkShards(c.k, c.m, 8, rng)
+		if err := rs.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		orig := make([][]byte, len(shards))
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+		// Erase up to m random shards and reconstruct.
+		for trial := 0; trial < 20; trial++ {
+			work := make([][]byte, len(shards))
+			present := make([]bool, len(shards))
+			for i := range shards {
+				work[i] = append([]byte(nil), orig[i]...)
+				present[i] = true
+			}
+			erase := rng.Perm(c.k + c.m)[:rng.Intn(c.m+1)]
+			for _, e := range erase {
+				present[e] = false
+				for j := range work[e] {
+					work[e][j] = 0xAA // scribble
+				}
+			}
+			if err := rs.Reconstruct(work, present); err != nil {
+				t.Fatalf("k=%d m=%d erased=%v: %v", c.k, c.m, erase, err)
+			}
+			for i := range work {
+				if !bytes.Equal(work[i], orig[i]) {
+					t.Fatalf("k=%d m=%d erased=%v: shard %d not recovered", c.k, c.m, erase, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	rs, _ := NewRS(4, 2)
+	rng := rand.New(rand.NewSource(2))
+	shards := mkShards(4, 2, 4, rng)
+	if err := rs.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	present := []bool{false, false, false, true, true, true}
+	if err := rs.Reconstruct(shards, present); err == nil {
+		t.Error("expected error with k-1 shards present")
+	}
+}
+
+func TestRSShardValidation(t *testing.T) {
+	rs, _ := NewRS(2, 1)
+	if err := rs.Encode([][]byte{{1}, {2}}); err == nil {
+		t.Error("expected error for wrong shard count")
+	}
+	if err := rs.Encode([][]byte{{1}, {2, 3}, {0}}); err == nil {
+		t.Error("expected error for ragged shards")
+	}
+	if err := rs.Encode([][]byte{{1}, nil, {0}}); err == nil {
+		t.Error("expected error for nil shard")
+	}
+	if err := rs.Reconstruct([][]byte{{1}, {2}, {3}}, []bool{true, true}); err == nil {
+		t.Error("expected error for wrong mask length")
+	}
+}
+
+func TestRSZeroParityIsNoop(t *testing.T) {
+	rs, err := NewRS(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	if err := rs.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Reconstruct(shards, []bool{true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSParityDetectsChange(t *testing.T) {
+	// Different data must produce different parity (for a single byte
+	// change, RS parity always changes).
+	rs, _ := NewRS(8, 2)
+	rng := rand.New(rand.NewSource(3))
+	a := mkShards(8, 2, 4, rng)
+	if err := rs.Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	b := make([][]byte, len(a))
+	for i, s := range a {
+		b[i] = append([]byte(nil), s...)
+	}
+	b[3][2] ^= 0x55
+	if err := rs.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a[8], b[8]) && bytes.Equal(a[9], b[9]) {
+		t.Error("parity unchanged after data change")
+	}
+}
+
+func TestRSAccessors(t *testing.T) {
+	rs, _ := NewRS(64, 8)
+	if rs.DataShards() != 64 || rs.ParityShards() != 8 {
+		t.Error("accessors wrong")
+	}
+}
+
+func BenchmarkRSEncode64Plus2(b *testing.B) {
+	// The paper's stripe: 64 tip sectors of 8 bytes, 2 parity tips.
+	rs, _ := NewRS(64, 2)
+	rng := rand.New(rand.NewSource(4))
+	shards := mkShards(64, 2, 8, rng)
+	b.SetBytes(64 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rs.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSReconstruct2Of66(b *testing.B) {
+	rs, _ := NewRS(64, 2)
+	rng := rand.New(rand.NewSource(5))
+	shards := mkShards(64, 2, 8, rng)
+	if err := rs.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	present := make([]bool, 66)
+	for i := range present {
+		present[i] = true
+	}
+	present[10], present[40] = false, false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rs.Reconstruct(shards, present); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

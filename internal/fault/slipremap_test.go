@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+)
+
+// ticker charges 1 ms per access regardless of extent, making piece
+// counts visible in the timing.
+type ticker struct{ n int }
+
+func (tk *ticker) Name() string    { return "ticker" }
+func (tk *ticker) Capacity() int64 { return 10000 }
+func (tk *ticker) SectorSize() int { return 512 }
+func (tk *ticker) Reset()          {}
+func (tk *ticker) Access(*core.Request, float64) float64 {
+	tk.n++
+	return 1
+}
+func (tk *ticker) EstimateAccess(*core.Request, float64) float64 { return 1 }
+
+func TestSlipRemapNoDefectsPassThrough(t *testing.T) {
+	tk := &ticker{}
+	s := NewSlipRemap(tk)
+	svc := s.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 100}, 0)
+	if svc != 1 || tk.n != 1 {
+		t.Errorf("clean extent should be one access: svc=%g n=%d", svc, tk.n)
+	}
+	if s.Remapped() != 0 {
+		t.Error("unexpected remap entries")
+	}
+	if s.Name() != "ticker+slip" || s.Capacity() != 10000 || s.SectorSize() != 512 {
+		t.Error("pass-through accessors wrong")
+	}
+}
+
+func TestSlipRemapSplitsExtents(t *testing.T) {
+	tk := &ticker{}
+	s := NewSlipRemap(tk)
+	s.Remap(10, 9000)
+	s.Remap(20, 9001)
+	// [0,30): healthy [0,10), slipped {10}, healthy [11,20), slipped
+	// {20}, healthy [21,30) → five accesses.
+	svc := s.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 30}, 0)
+	if svc != 5 || tk.n != 5 {
+		t.Errorf("expected 5 pieces: svc=%g n=%d", svc, tk.n)
+	}
+	if s.Remapped() != 2 {
+		t.Errorf("remapped = %d", s.Remapped())
+	}
+}
+
+func TestSlipRemapEdges(t *testing.T) {
+	tk := &ticker{}
+	s := NewSlipRemap(tk)
+	s.Remap(0, 9000) // defect at the very start
+	svc := s.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 10}, 0)
+	if svc != 2 {
+		t.Errorf("defect at extent start: %g pieces-ms, want 2", svc)
+	}
+	tk.n = 0
+	s2 := NewSlipRemap(&ticker{})
+	s2.Remap(9, 9000) // defect at the very end
+	if svc := s2.Access(&core.Request{Op: core.Read, LBN: 0, Blocks: 10}, 0); svc != 2 {
+		t.Errorf("defect at extent end: %g, want 2", svc)
+	}
+	// Single-sector request on a defect goes straight to the spare.
+	s3 := NewSlipRemap(&ticker{})
+	s3.Remap(5, 9000)
+	if svc := s3.Access(&core.Request{Op: core.Read, LBN: 5, Blocks: 1}, 0); svc != 1 {
+		t.Errorf("defect-only request: %g, want 1", svc)
+	}
+}
+
+func TestSlipRemapPanicsOutOfRange(t *testing.T) {
+	s := NewSlipRemap(&ticker{})
+	for _, f := range []func(){
+		func() { s.Remap(-1, 0) },
+		func() { s.Remap(0, 10000) },
+		func() { s.Remap(10000, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSlipRemapEstimateSinglePieceExact(t *testing.T) {
+	tk := &ticker{}
+	s := NewSlipRemap(tk)
+	if est := s.EstimateAccess(&core.Request{Op: core.Read, LBN: 0, Blocks: 8}, 0); est != 1 {
+		t.Errorf("estimate = %g", est)
+	}
+	if tk.n != 0 {
+		t.Error("estimate accessed the device")
+	}
+	s.Remap(4, 9000)
+	if est := s.EstimateAccess(&core.Request{Op: core.Read, LBN: 0, Blocks: 8}, 0); est != 1 {
+		t.Errorf("multi-piece estimate (lower bound) = %g", est)
+	}
+}
+
+func TestSlipRemapSlowsSequentialScanOnMEMS(t *testing.T) {
+	// §6.1.1: slipped sectors break sequentiality; the same scan with no
+	// defects must be faster.
+	clean := mems.MustDevice(mems.DefaultConfig())
+	dirty := NewSlipRemap(mems.MustDevice(mems.DefaultConfig()))
+	for i := int64(0); i < 20; i++ {
+		dirty.Remap(i*500+123, clean.Capacity()-1-i)
+	}
+	scan := func(d core.Device) float64 {
+		d.Reset()
+		now := 0.0
+		for lbn := int64(0); lbn < 10000; lbn += 500 {
+			now += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 500}, now)
+		}
+		return now
+	}
+	tClean := scan(clean)
+	tDirty := scan(dirty)
+	if tDirty <= tClean {
+		t.Errorf("slipped scan %.2f ms should be slower than clean %.2f ms", tDirty, tClean)
+	}
+}

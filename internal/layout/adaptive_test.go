@@ -1,0 +1,249 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdaptiveOrganPipeValidation(t *testing.T) {
+	for _, c := range []struct{ cap, ext int64 }{
+		{0, 8}, {100, 0}, {100, 7}, {-5, 8},
+	} {
+		if _, err := NewAdaptiveOrganPipe(c.cap, c.ext); err == nil {
+			t.Errorf("expected error for capacity=%d extent=%d", c.cap, c.ext)
+		}
+	}
+	if _, err := NewAdaptiveOrganPipe(800, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveMapIsIdentityInitially(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	for _, lbn := range []int64{0, 7, 8, 799} {
+		if a.Map(lbn) != lbn {
+			t.Errorf("Map(%d) = %d before any reshuffle", lbn, a.Map(lbn))
+		}
+	}
+}
+
+func TestAdaptiveMapBijection(t *testing.T) {
+	// Property: after arbitrary record/reshuffle sequences the mapping
+	// remains a bijection on [0, capacity).
+	f := func(accessSeed []uint16, shuffles uint8) bool {
+		a, err := NewAdaptiveOrganPipe(320, 8)
+		if err != nil {
+			return false
+		}
+		for _, v := range accessSeed {
+			a.Record(int64(v)%320, 1)
+		}
+		for s := 0; s < int(shuffles%4)+1; s++ {
+			a.Reshuffle()
+		}
+		seen := make(map[int64]bool, 320)
+		for lbn := int64(0); lbn < 320; lbn++ {
+			m := a.Map(lbn)
+			if m < 0 || m >= 320 || seen[m] {
+				return false
+			}
+			seen[m] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptiveHotExtentMovesToCenter(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(800, 8) // 100 extents, center slot 50
+	// Hammer extent 7.
+	for i := 0; i < 100; i++ {
+		a.Record(7*8+3, 1)
+	}
+	if a.HotExtent() != 7 {
+		t.Fatalf("hot extent = %d", a.HotExtent())
+	}
+	moved := a.Reshuffle()
+	if moved <= 0 {
+		t.Fatal("reshuffle moved nothing")
+	}
+	// Extent 7 now occupies the centermost slot.
+	if got := a.Map(7 * 8); got != 50*8 {
+		t.Errorf("hot extent mapped to %d, want center slot start %d", got, 50*8)
+	}
+}
+
+func TestAdaptiveReshuffleIdempotentWhenStable(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	for i := 0; i < 50; i++ {
+		a.Record(16, 1)
+	}
+	a.Reshuffle()
+	// Same popularity again: second reshuffle must move nothing.
+	for i := 0; i < 50; i++ {
+		a.Record(16, 1)
+	}
+	if moved := a.Reshuffle(); moved != 0 {
+		t.Errorf("stable popularity still moved %d blocks", moved)
+	}
+}
+
+func TestAdaptiveDecayForgetsOldHotspots(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	a.Decay = 0.1
+	for i := 0; i < 100; i++ {
+		a.Record(0, 1) // extent 0 hot
+	}
+	a.Reshuffle()
+	// New hotspot with fewer accesses than the old one had — decay makes
+	// it dominant.
+	for i := 0; i < 50; i++ {
+		a.Record(99*8, 1)
+	}
+	if a.HotExtent() != 99 {
+		t.Errorf("hot extent after decay = %d, want 99", a.HotExtent())
+	}
+	a.Reshuffle()
+	if got := a.Map(99 * 8); got != 50*8 {
+		t.Errorf("new hotspot mapped to %d, want center", got)
+	}
+}
+
+func TestAdaptivePanics(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	for _, f := range []func(){
+		func() { a.Map(-1) },
+		func() { a.Map(800) },
+		func() { a.Record(-1, 1) },
+		func() { a.Record(0, 0) },
+		func() { a.Record(799, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(80, 8)
+	if a.Name() != "adaptive-organ-pipe" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestAdaptiveSlotOrderIsPermutation(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 4, 5, 10, 99, 100} {
+		a, err := NewAdaptiveOrganPipe(n*8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int64]bool, n)
+		for _, s := range a.slotOrder {
+			if s < 0 || s >= n || seen[s] {
+				t.Fatalf("n=%d: slotOrder not a permutation: %v", n, a.slotOrder)
+			}
+			seen[s] = true
+		}
+		// The most preferred slot is the center.
+		if a.slotOrder[0] != n/2 {
+			t.Errorf("n=%d: first slot = %d, want %d", n, a.slotOrder[0], n/2)
+		}
+	}
+}
+
+func TestReshuffleNBoundsMoves(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(8000, 8) // 1000 extents
+	// Make 20 extents hot, well away from the center.
+	for e := int64(0); e < 20; e++ {
+		for i := 0; i < 50; i++ {
+			a.Record(e*8, 1)
+		}
+	}
+	moved := a.ReshuffleN(4)
+	// Each move swaps two extents: at most 8 extents × 8 blocks.
+	if moved > 4*2*8 {
+		t.Errorf("moved %d blocks, cap is %d", moved, 4*2*8)
+	}
+	if moved == 0 {
+		t.Error("nothing moved despite hot extents far from center")
+	}
+}
+
+func TestReshuffleNConverges(t *testing.T) {
+	// Repeated incremental shuffles under a stable workload must reach a
+	// state where nothing further moves.
+	a, _ := NewAdaptiveOrganPipe(8000, 8)
+	a.Decay = 1 // keep counts so popularity stays sharp
+	for e := int64(0); e < 10; e++ {
+		for i := 0; i < 100; i++ {
+			a.Record(e*8, 1)
+		}
+	}
+	total := int64(0)
+	for round := 0; round < 50; round++ {
+		total += a.ReshuffleN(4)
+	}
+	if a.ReshuffleN(4) != 0 {
+		t.Error("shuffler still moving after 50 rounds of a stable workload")
+	}
+	if total == 0 {
+		t.Error("shuffler never moved anything")
+	}
+	// The hot extents ended up in the central region.
+	mid := int64(500 * 8)
+	for e := int64(0); e < 10; e++ {
+		d := a.Map(e*8) - mid
+		if d < 0 {
+			d = -d
+		}
+		if d > 30*8 {
+			t.Errorf("hot extent %d landed %d blocks from center", e, d)
+		}
+	}
+}
+
+func TestReshuffleNHysteresisPreventsFights(t *testing.T) {
+	// Two equally hot extents must not displace each other once both are
+	// near the center.
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	a.Decay = 1
+	hit := func(e int64, n int) {
+		for i := 0; i < n; i++ {
+			a.Record(e*8, 1)
+		}
+	}
+	hit(3, 100)
+	hit(97, 99)
+	for i := 0; i < 10; i++ {
+		a.ReshuffleN(4)
+	}
+	if a.ReshuffleN(4) != 0 {
+		t.Error("near-tied hot extents keep displacing each other")
+	}
+}
+
+func TestReshuffleNSkipsDominatedMoves(t *testing.T) {
+	// A background extent with a single stray access must not migrate.
+	a, _ := NewAdaptiveOrganPipe(800, 8)
+	a.Record(0, 1) // one stray hit on extent 0
+	if moved := a.ReshuffleN(10); moved != 0 {
+		t.Errorf("stray access caused %d blocks of migration", moved)
+	}
+}
+
+func TestReshuffleNPanicsOnNegative(t *testing.T) {
+	a, _ := NewAdaptiveOrganPipe(80, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.ReshuffleN(-1)
+}

@@ -1,0 +1,200 @@
+package mems
+
+import (
+	"fmt"
+
+	"memsim/internal/core"
+	"memsim/internal/physics"
+)
+
+// state is the sled's mechanical state between requests.
+type state struct {
+	cyl  int     // cylinder currently under the tips
+	yB   float64 // Y bit-boundary coordinate in [0, BitsY]
+	vdir int     // Y velocity direction: −1, 0, +1 (times AccessSpeed)
+}
+
+// Device is the MEMS-based storage device model. It implements
+// core.Device. Access and EstimateAccess are deterministic functions of
+// the device's mechanical state and the request, per the model of §2–§3.
+type Device struct {
+	geo  *Geometry
+	sled *physics.Sled
+	st   state
+}
+
+var _ core.Device = (*Device)(nil)
+
+// NewDevice builds a device from cfg, validating the geometry.
+func NewDevice(cfg Config) (*Device, error) {
+	g, err := NewGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{geo: g, sled: g.Sled()}
+	d.Reset()
+	return d, nil
+}
+
+// MustDevice is NewDevice for known-good configurations; it panics on
+// error and exists for tests and examples.
+func MustDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry exposes the derived geometry (shared with layouts and
+// experiments).
+func (d *Device) Geometry() *Geometry { return d.geo }
+
+// Name implements core.Device.
+func (d *Device) Name() string { return "MEMS" }
+
+// Capacity implements core.Device.
+func (d *Device) Capacity() int64 { return d.geo.TotalSectors }
+
+// SectorSize implements core.Device.
+func (d *Device) SectorSize() int { return d.geo.SectorSize }
+
+// Reset implements core.Device: the sled parks at the center, at rest.
+func (d *Device) Reset() {
+	d.st = state{cyl: d.geo.Cylinders / 2, yB: float64(d.geo.BitsY) / 2, vdir: 0}
+}
+
+// Breakdown decomposes one access into its mechanical components. All
+// times are milliseconds. Positioning is the sum over segments of
+// max(X seek + settle, Y seek) — the axes proceed in parallel (§2.4.1),
+// so the lesser is hidden by the greater.
+type Breakdown struct {
+	Positioning float64 // total positioning time across segments
+	SeekX       float64 // unoverlapped X component (incl. settle), informational
+	SeekY       float64 // unoverlapped Y component, informational
+	Transfer    float64 // media transfer time
+	Overhead    float64 // fixed command overhead
+	Segments    int     // number of track spans touched
+}
+
+// Total returns the access service time.
+func (b Breakdown) Total() float64 {
+	return b.Positioning + b.Transfer + b.Overhead
+}
+
+// Access implements core.Device. The now parameter is unused: unlike a
+// disk, the device has no free-running rotation, so service time does not
+// depend on absolute time (§2.4.8).
+func (d *Device) Access(req *core.Request, _ float64) float64 {
+	bd, ns := d.access(d.st, req)
+	d.st = ns
+	return bd.Total()
+}
+
+// EstimateAccess implements core.Device.
+func (d *Device) EstimateAccess(req *core.Request, _ float64) float64 {
+	bd, _ := d.access(d.st, req)
+	return bd.Total()
+}
+
+// Detail returns the mechanical breakdown Access would produce for req
+// from the current state, without changing state.
+func (d *Device) Detail(req *core.Request) Breakdown {
+	bd, _ := d.access(d.st, req)
+	return bd
+}
+
+// access computes the service of req from state st. Requests are split
+// into track spans ("segments"); each segment is swept in whichever Y
+// direction positions faster — tips access the media in the ±Y direction
+// (§2.2, Fig. 3), which is also what lets read-modify-write sequences pay
+// only a turnaround (§6.2).
+func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
+	g := d.geo
+	if req.Blocks <= 0 {
+		panic(fmt.Sprintf("mems: request with %d blocks", req.Blocks))
+	}
+	if req.LBN < 0 || req.LBN+int64(req.Blocks) > g.TotalSectors {
+		panic(fmt.Sprintf("mems: request [%d,%d) outside device capacity %d",
+			req.LBN, req.LBN+int64(req.Blocks), g.TotalSectors))
+	}
+	bd := Breakdown{Overhead: g.Overhead}
+	lbn := req.LBN
+	remaining := req.Blocks
+	for remaining > 0 {
+		cyl, track, row, slot := g.Decompose(lbn)
+		// Sectors left in this track from (row, slot).
+		inTrack := g.SectorsPerTrack - (row*g.SectorsPerRow + slot)
+		n := remaining
+		if n > inTrack {
+			n = inTrack
+		}
+		last := row*g.SectorsPerRow + slot + n - 1
+		rowHi := last / g.SectorsPerRow
+		_ = track // track selection changes active tips, not sled position
+
+		tb := float64(g.TipSectorBits)
+		// X positioning (with settle) happens once per cylinder change.
+		tx := 0.0
+		if cyl != st.cyl {
+			tx = d.sled.SeekTime(g.XPos(st.cyl), 0, g.XPos(cyl), 0)*1e3 + g.SettleMs
+		}
+		vy := float64(st.vdir) * g.AccessSpeed
+		// Forward sweep: start at the top boundary of the first row
+		// moving +Y; reverse sweep: start at the bottom boundary of the
+		// last row moving −Y.
+		fwdStart := float64(row) * tb
+		revStart := float64(rowHi+1) * tb
+		tyF := d.sled.SeekTime(g.YPos(st.yB), vy, g.YPos(fwdStart), g.AccessSpeed) * 1e3
+		tyR := d.sled.SeekTime(g.YPos(st.yB), vy, g.YPos(revStart), -g.AccessSpeed) * 1e3
+		ty, dir, end := tyF, 1, float64(rowHi+1)*tb
+		if tyR < tyF {
+			ty, dir, end = tyR, -1, float64(row)*tb
+		}
+		pos := tx
+		if ty > pos {
+			pos = ty
+		}
+		bd.Positioning += pos
+		bd.SeekX += tx
+		bd.SeekY += ty
+		bd.Transfer += float64(rowHi-row+1) * g.RowTimeMs
+		bd.Segments++
+
+		st = state{cyl: cyl, yB: end, vdir: dir}
+		lbn += int64(n)
+		remaining -= n
+	}
+	return bd, st
+}
+
+// SeekX returns the X-dimension seek time in ms between two cylinders
+// (rest to rest, including settle when the cylinders differ). Exposed for
+// the data-placement experiments (§5).
+func (d *Device) SeekX(from, to int) float64 {
+	if from == to {
+		return 0
+	}
+	return d.sled.SeekTime(d.geo.XPos(from), 0, d.geo.XPos(to), 0)*1e3 + d.geo.SettleMs
+}
+
+// Turnaround returns the time in ms to reverse the sled's Y direction at
+// bit boundary b, moving in direction dir before the reversal.
+func (d *Device) Turnaround(b float64, dir int) float64 {
+	return d.sled.TurnaroundTime(d.geo.YPos(b), float64(dir)*d.geo.AccessSpeed) * 1e3
+}
+
+// State returns the current cylinder, Y boundary, and direction; tests
+// and experiments use it to verify mechanical behavior.
+func (d *Device) State() (cyl int, yB float64, vdir int) {
+	return d.st.cyl, d.st.yB, d.st.vdir
+}
+
+// SetState forces the mechanical state; experiments use it to measure
+// position-dependent costs (e.g. Fig. 9's subregion map).
+func (d *Device) SetState(cyl int, yB float64, vdir int) {
+	if cyl < 0 || cyl >= d.geo.Cylinders || yB < 0 || yB > float64(d.geo.BitsY) {
+		panic(fmt.Sprintf("mems: SetState out of range: cyl=%d yB=%g", cyl, yB))
+	}
+	d.st = state{cyl: cyl, yB: yB, vdir: vdir}
+}

@@ -1,0 +1,41 @@
+package mems
+
+// Device generations. The paper's Table 1 device is the first-generation
+// design being discussed by the groups it cites; the companion systems
+// paper (Schlosser et al., CMU-CS-00-137) explores how successive
+// generations densify. The second- and third-generation configurations
+// below are *extrapolations in that spirit* — smaller bit cells, faster
+// per-tip rates, stronger actuators and stiffer suspensions — provided
+// for generational ablation studies. They are not published parameter
+// sets; treat the generational experiment as a sensitivity study of the
+// model, not a reproduction artifact.
+
+// ConfigGen1 is the paper's Table 1 device (alias of DefaultConfig).
+func ConfigGen1() Config { return DefaultConfig() }
+
+// ConfigGen2 shrinks the bit cell to 30 nm, raises the per-tip rate to
+// 1 Mbit/s, and stiffens the suspension. Capacity grows to ≈6.8 GB per
+// sled and streaming bandwidth to ≈114 MB/s.
+func ConfigGen2() Config {
+	cfg := DefaultConfig()
+	cfg.BitWidth = 30e-9
+	cfg.BitsX, cfg.BitsY = 3330, 3330 // ≈100 µm of mobility at 30 nm
+	cfg.PerTipRate = 1e6
+	cfg.SledAccel = 1150
+	cfg.ResonantHz = 1100
+	return cfg
+}
+
+// ConfigGen3 shrinks to 25 nm cells, 10 000 tips with 3200 active, and
+// 1.5 Mbit/s per tip: ≈13.5 GB and ≈427 MB/s per sled.
+func ConfigGen3() Config {
+	cfg := DefaultConfig()
+	cfg.BitWidth = 25e-9
+	cfg.BitsX, cfg.BitsY = 4000, 4000
+	cfg.Tips = 9600
+	cfg.ActiveTips = 3200
+	cfg.PerTipRate = 1.5e6
+	cfg.SledAccel = 1500
+	cfg.ResonantHz = 1400
+	return cfg
+}

@@ -1,0 +1,51 @@
+package mems
+
+import "testing"
+
+func TestGenerationsValidAndMonotone(t *testing.T) {
+	var caps, bws []float64
+	for i, cfg := range []Config{ConfigGen1(), ConfigGen2(), ConfigGen3()} {
+		g, err := NewGeometry(cfg)
+		if err != nil {
+			t.Fatalf("generation %d invalid: %v", i+1, err)
+		}
+		caps = append(caps, float64(g.CapacityBytes()))
+		bws = append(bws, g.StreamBandwidth())
+	}
+	for i := 1; i < 3; i++ {
+		if caps[i] <= caps[i-1] {
+			t.Errorf("capacity not increasing at generation %d: %v", i+1, caps)
+		}
+		if bws[i] <= bws[i-1] {
+			t.Errorf("bandwidth not increasing at generation %d: %v", i+1, bws)
+		}
+	}
+}
+
+func TestGen1IsDefault(t *testing.T) {
+	if ConfigGen1() != DefaultConfig() {
+		t.Error("Gen1 must alias the Table 1 device")
+	}
+}
+
+func TestLaterGenerationsAccessFaster(t *testing.T) {
+	// Stronger actuators + stiffer suspension + faster tips: the average
+	// random access must improve generation over generation.
+	prev := 0.0
+	for i, cfg := range []Config{ConfigGen1(), ConfigGen2(), ConfigGen3()} {
+		d, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Geometry()
+		// Deterministic probe: average of a fixed far/near pair.
+		d.Reset()
+		far := d.EstimateAccess(reqAt(g.LBN(g.Cylinders-1, 0, 0, 0), 8), 0)
+		near := d.EstimateAccess(reqAt(g.LBN(g.Cylinders/2, 0, 0, 0), 8), 0)
+		avg := (far + near) / 2
+		if i > 0 && avg >= prev {
+			t.Errorf("generation %d access %.3f ms not faster than %.3f", i+1, avg, prev)
+		}
+		prev = avg
+	}
+}

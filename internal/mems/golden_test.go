@@ -1,0 +1,29 @@
+package mems
+
+import (
+	"math"
+	"testing"
+
+	"memsim/internal/core"
+)
+
+// TestGoldenValues pins exact model outputs. The simulator is
+// deterministic by design; if a refactor moves any of these numbers the
+// change is either a bug or an intentional model revision that must be
+// re-justified against the paper's anchors (and EXPERIMENTS.md re-run).
+func TestGoldenValues(t *testing.T) {
+	d := MustDevice(DefaultConfig())
+	g := d.Geometry()
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %.9f, want %.9f", name, got, want)
+		}
+	}
+	check("full-stroke X seek", d.SeekX(0, 2499), 0.769779252)
+	check("100-cylinder X seek", d.SeekX(1250, 1350), 0.354800653)
+	check("center turnaround", d.Turnaround(float64(g.BitsY)/2, 1), 0.069349431)
+	d.Reset()
+	check("cold 4 KB access", d.Access(&core.Request{LBN: 123456, Blocks: 8}, 0), 0.952291470)
+	check("following 32 KB access", d.Access(&core.Request{LBN: 5000000, Blocks: 64}, 0), 1.262699611)
+}

@@ -1,0 +1,93 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeekTable precomputes rest-to-rest seek times on an n×n grid over the
+// sled's travel and answers queries by bilinear interpolation — the way
+// DiskSim-era simulators tabulated seek curves. It exists as the ablation
+// partner of the closed-form solver: the table trades a little accuracy
+// (the seek surface has a |x0−x1| → 0 crease the interpolation smooths
+// over) and setup time for an even cheaper per-query path.
+type SeekTable struct {
+	sled *Sled
+	n    int
+	step float64
+	// times[i*n+j] is the seek time from grid point i to grid point j.
+	times []float64
+}
+
+// NewSeekTable builds a table with n grid points per axis (n ≥ 2).
+func NewSeekTable(s *Sled, n int) *SeekTable {
+	if n < 2 {
+		panic(fmt.Sprintf("physics: seek table needs ≥2 grid points, got %d", n))
+	}
+	t := &SeekTable{
+		sled:  s,
+		n:     n,
+		step:  2 * s.HalfRange / float64(n-1),
+		times: make([]float64, n*n),
+	}
+	for i := 0; i < n; i++ {
+		xi := -s.HalfRange + float64(i)*t.step
+		for j := 0; j < n; j++ {
+			xj := -s.HalfRange + float64(j)*t.step
+			t.times[i*n+j] = s.SeekTime(xi, 0, xj, 0)
+		}
+	}
+	return t
+}
+
+// SeekTime returns the interpolated rest-to-rest seek time from x0 to
+// x1 (meters, clamped to the sled's travel).
+func (t *SeekTable) SeekTime(x0, x1 float64) float64 {
+	if x0 == x1 {
+		return 0
+	}
+	fi := t.index(x0)
+	fj := t.index(x1)
+	i0, j0 := int(fi), int(fj)
+	if i0 >= t.n-1 {
+		i0 = t.n - 2
+	}
+	if j0 >= t.n-1 {
+		j0 = t.n - 2
+	}
+	di, dj := fi-float64(i0), fj-float64(j0)
+	n := t.n
+	v00 := t.times[i0*n+j0]
+	v01 := t.times[i0*n+j0+1]
+	v10 := t.times[(i0+1)*n+j0]
+	v11 := t.times[(i0+1)*n+j0+1]
+	return v00*(1-di)*(1-dj) + v01*(1-di)*dj + v10*di*(1-dj) + v11*di*dj
+}
+
+// index maps a position to fractional grid coordinates, clamped.
+func (t *SeekTable) index(x float64) float64 {
+	f := (x + t.sled.HalfRange) / t.step
+	return math.Min(math.Max(f, 0), float64(t.n-1))
+}
+
+// MaxError measures the table's worst absolute error (seconds) against
+// the closed-form solver over a k×k probe grid offset from the table's
+// own grid; tests and the ablation report use it.
+func (t *SeekTable) MaxError(k int) float64 {
+	worst := 0.0
+	hr := t.sled.HalfRange
+	for i := 0; i < k; i++ {
+		x0 := -hr + (float64(i)+0.37)*2*hr/float64(k)
+		for j := 0; j < k; j++ {
+			x1 := -hr + (float64(j)+0.61)*2*hr/float64(k)
+			if x0 == x1 {
+				continue
+			}
+			exact := t.sled.SeekTime(x0, 0, x1, 0)
+			if e := math.Abs(t.SeekTime(x0, x1) - exact); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,75 @@
+package physics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeekTableAccuracy(t *testing.T) {
+	s := paperSled()
+	tbl := NewSeekTable(s, 257)
+	// A 257-point grid should stay within a few microseconds of the
+	// closed form away from the zero-distance crease.
+	if e := tbl.MaxError(64); e > 15e-6 {
+		t.Errorf("max error = %g s, want < 15 µs", e)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x0 := (rng.Float64()*2 - 1) * s.HalfRange
+		x1 := (rng.Float64()*2 - 1) * s.HalfRange
+		exact := s.SeekTime(x0, 0, x1, 0)
+		got := tbl.SeekTime(x0, x1)
+		if d := got - exact; d > 30e-6 || d < -30e-6 {
+			t.Fatalf("table error %g s at (%g, %g)", d, x0, x1)
+		}
+	}
+}
+
+func TestSeekTableZeroDistance(t *testing.T) {
+	tbl := NewSeekTable(paperSled(), 65)
+	if tbl.SeekTime(1e-5, 1e-5) != 0 {
+		t.Error("zero-distance seek should be exactly 0")
+	}
+}
+
+func TestSeekTableClampsOutOfRange(t *testing.T) {
+	s := paperSled()
+	tbl := NewSeekTable(s, 65)
+	in := tbl.SeekTime(-s.HalfRange, s.HalfRange)
+	out := tbl.SeekTime(-2*s.HalfRange, 2*s.HalfRange)
+	if out != in {
+		t.Errorf("out-of-range query should clamp: %g vs %g", out, in)
+	}
+}
+
+func TestSeekTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSeekTable(paperSled(), 1)
+}
+
+func BenchmarkSeekSolverTableLookup(b *testing.B) {
+	// Ablation partner for BenchmarkSeekSolverClosedForm: per-query cost
+	// of the interpolated table.
+	s := paperSled()
+	tbl := NewSeekTable(s, 257)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = (rng.Float64()*2 - 1) * s.HalfRange
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.SeekTime(xs[i%1024], xs[(i+7)%1024])
+	}
+}
+
+func BenchmarkSeekTableBuild257(b *testing.B) {
+	s := paperSled()
+	for i := 0; i < b.N; i++ {
+		_ = NewSeekTable(s, 257)
+	}
+}

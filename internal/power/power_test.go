@@ -1,0 +1,279 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/sim"
+	"memsim/internal/workload"
+)
+
+// constDevice services everything in a fixed time.
+type constDevice struct{ svc float64 }
+
+func (d *constDevice) Name() string                                  { return "const" }
+func (d *constDevice) Capacity() int64                               { return 1 << 30 }
+func (d *constDevice) SectorSize() int                               { return 512 }
+func (d *constDevice) Reset()                                        {}
+func (d *constDevice) Access(*core.Request, float64) float64         { return d.svc }
+func (d *constDevice) EstimateAccess(*core.Request, float64) float64 { return d.svc }
+
+func req(lbn int64) *core.Request { return &core.Request{LBN: lbn, Blocks: 8} }
+
+func TestModelsValid(t *testing.T) {
+	for _, m := range []Model{MEMSModel(), MobileDiskModel(), ServerDiskModel()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v: %v", m, err)
+		}
+	}
+	if err := (Model{ActiveW: -1}).Validate(); err == nil {
+		t.Error("expected error for negative power")
+	}
+}
+
+func TestActiveEnergyAccounting(t *testing.T) {
+	// One 1000 ms access at 2 W = 2 J active energy.
+	m := NewManaged(&constDevice{svc: 1000}, Model{ActiveW: 2}, AlwaysOn())
+	svc := m.Access(req(0), 0)
+	if svc != 1000 {
+		t.Fatalf("service = %g", svc)
+	}
+	rep := m.Report()
+	if math.Abs(rep.ActiveJ-2) > 1e-12 {
+		t.Errorf("active energy = %g J, want 2", rep.ActiveJ)
+	}
+	if rep.IdleJ != 0 || rep.Restarts != 0 {
+		t.Errorf("unexpected idle/restarts: %+v", rep)
+	}
+	if rep.BytesMoved != 8*512 {
+		t.Errorf("bytes moved = %d", rep.BytesMoved)
+	}
+}
+
+func TestIdleEnergyBetweenRequests(t *testing.T) {
+	// 1 s gap at 0.5 W idle with no standby = 0.5 J idle energy.
+	m := NewManaged(&constDevice{svc: 10}, Model{ActiveW: 1, IdleW: 0.5}, AlwaysOn())
+	m.Access(req(0), 0)    // busy [0,10)
+	m.Access(req(0), 1010) // idle [10,1010)
+	rep := m.Report()
+	if math.Abs(rep.IdleJ-0.5) > 1e-9 {
+		t.Errorf("idle energy = %g J, want 0.5", rep.IdleJ)
+	}
+	if rep.Restarts != 0 {
+		t.Error("no standby expected under AlwaysOn")
+	}
+}
+
+func TestStandbyAndRestart(t *testing.T) {
+	model := Model{ActiveW: 1, IdleW: 0.5, StandbyW: 0.1, RestartMs: 100, RestartW: 2}
+	m := NewManaged(&constDevice{svc: 10}, model, Policy{TimeoutMs: 200})
+	m.Access(req(0), 0) // busy [0,10)
+	// Next request 1010 ms later: idle 200 ms, standby 800 ms, restart.
+	svc := m.Access(req(0), 1010)
+	if svc != 110 { // 100 restart + 10 service
+		t.Fatalf("service with restart = %g, want 110", svc)
+	}
+	rep := m.Report()
+	if math.Abs(rep.IdleJ-0.5*0.2) > 1e-9 {
+		t.Errorf("idle energy = %g J, want 0.1", rep.IdleJ)
+	}
+	if math.Abs(rep.StandbyJ-0.1*0.8) > 1e-9 {
+		t.Errorf("standby energy = %g J, want 0.08", rep.StandbyJ)
+	}
+	if math.Abs(rep.RestartJ-2*0.1) > 1e-9 {
+		t.Errorf("restart energy = %g J, want 0.2", rep.RestartJ)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("restarts = %d", rep.Restarts)
+	}
+	if rep.PenaltyMs != 100 {
+		t.Errorf("penalty = %g ms", rep.PenaltyMs)
+	}
+}
+
+func TestImmediatePolicySkipsIdle(t *testing.T) {
+	// Timeout 0: the device drops straight to standby; every gap incurs
+	// a restart but zero idle energy — the MEMS regime where restart
+	// costs 0.5 ms.
+	m := NewManaged(&constDevice{svc: 1}, MEMSModel(), Immediate())
+	m.Access(req(0), 0)
+	m.Access(req(0), 1000)
+	rep := m.Report()
+	if rep.IdleJ != 0 {
+		t.Errorf("idle energy = %g, want 0", rep.IdleJ)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("restarts = %d", rep.Restarts)
+	}
+	if rep.PenaltyMs != MEMSModel().RestartMs {
+		t.Errorf("penalty = %g", rep.PenaltyMs)
+	}
+}
+
+func TestEstimateAccessIncludesPenaltyWithoutCommitting(t *testing.T) {
+	m := NewManaged(&constDevice{svc: 10}, Model{ActiveW: 1, RestartMs: 50}, Policy{TimeoutMs: 100})
+	m.Access(req(0), 0)
+	est := m.EstimateAccess(req(0), 500) // gap 490 > 100 → penalty
+	if est != 60 {
+		t.Errorf("estimate = %g, want 60", est)
+	}
+	if m.Report().Restarts != 0 {
+		t.Error("estimate committed a restart")
+	}
+	// Within the timeout: no penalty.
+	if est := m.EstimateAccess(req(0), 50); est != 10 {
+		t.Errorf("estimate = %g, want 10", est)
+	}
+}
+
+func TestFinishAtClosesBooks(t *testing.T) {
+	m := NewManaged(&constDevice{svc: 10}, Model{IdleW: 1}, AlwaysOn())
+	m.Access(req(0), 0)
+	m.FinishAt(1010)
+	rep := m.Report()
+	if math.Abs(rep.IdleJ-1.0) > 1e-9 {
+		t.Errorf("idle energy = %g J, want 1", rep.IdleJ)
+	}
+	if rep.ElapsedMs != 1010 {
+		t.Errorf("elapsed = %g", rep.ElapsedMs)
+	}
+	// FinishAt before the last busy end is a no-op.
+	m.FinishAt(5)
+	if m.Report().ElapsedMs != 1010 {
+		t.Error("FinishAt went backwards")
+	}
+}
+
+func TestResetClearsAccounting(t *testing.T) {
+	m := NewManaged(&constDevice{svc: 10}, MEMSModel(), Immediate())
+	m.Access(req(0), 0)
+	m.Reset()
+	if m.Report().TotalJ() != 0 || m.Report().Requests != 0 {
+		t.Error("Reset did not clear accounting")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewManaged(&constDevice{}, Model{ActiveW: -1}, AlwaysOn()) },
+		func() { NewManaged(&constDevice{}, Model{}, Policy{TimeoutMs: -1}) },
+		func() { PerBitEnergy(MEMSModel(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPerBitEnergyLinear(t *testing.T) {
+	// §7: energy consumption should be (near-)linear in bytes accessed.
+	// Compare total active energy for 1× vs 4× the data on the real MEMS
+	// device with back-to-back large transfers (positioning amortized).
+	d := mems.MustDevice(mems.DefaultConfig())
+	run := func(blocks int) float64 {
+		m := NewManaged(d, MEMSModel(), Immediate())
+		m.Reset()
+		now := 0.0
+		for i := 0; i < 50; i++ {
+			r := &core.Request{LBN: int64(i * blocks), Blocks: blocks}
+			now += m.Access(r, now)
+		}
+		return m.Report().ActiveJ
+	}
+	e1 := run(200)
+	e4 := run(800)
+	ratio := e4 / e1
+	if ratio < 3.2 || ratio > 4.4 {
+		t.Errorf("4× data used %.2f× energy, want ≈ 4×", ratio)
+	}
+	if e := PerBitEnergy(MEMSModel(), 79.6e6*8); e <= 0 {
+		t.Errorf("per-bit energy = %g", e)
+	}
+}
+
+func TestManagedComposesWithSimulator(t *testing.T) {
+	// End-to-end: run the queueing simulator over a power-managed MEMS
+	// device; with a 0.5 ms restart, aggressive idling must cost almost
+	// nothing in response time while saving idle energy versus AlwaysOn.
+	d := mems.MustDevice(mems.DefaultConfig())
+	run := func(p Policy) (meanResp float64, rep Report) {
+		m := NewManaged(d, MEMSModel(), p)
+		src := workload.DefaultRandom(20, 512, d.Capacity(), 1500, 5)
+		res := sim.Run(m, sched.NewFCFS(), src, sim.Options{Warmup: 100})
+		m.FinishAt(res.Elapsed)
+		return res.Response.Mean(), m.Report()
+	}
+	respOn, repOn := run(AlwaysOn())
+	respIdle, repIdle := run(Immediate())
+	if repIdle.TotalJ() >= repOn.TotalJ() {
+		t.Errorf("immediate idle used %.2f J, always-on %.2f J: want savings",
+			repIdle.TotalJ(), repOn.TotalJ())
+	}
+	if respIdle > respOn+1.0 {
+		t.Errorf("idle policy added %.3f ms mean response; MEMS restart should be imperceptible",
+			respIdle-respOn)
+	}
+	if repIdle.Restarts == 0 {
+		t.Error("immediate policy never restarted — workload not idle enough?")
+	}
+}
+
+func TestReportDerivedMetrics(t *testing.T) {
+	var r Report
+	if r.MeanPowerW() != 0 || r.MeanPenaltyMs() != 0 {
+		t.Error("zero report should produce zeros")
+	}
+	r = Report{ActiveJ: 1, IdleJ: 1, ElapsedMs: 2000, Requests: 4, PenaltyMs: 2}
+	if r.TotalJ() != 2 || r.MeanPowerW() != 1 || r.MeanPenaltyMs() != 0.5 {
+		t.Errorf("derived metrics wrong: %+v", r)
+	}
+}
+
+func TestManagedName(t *testing.T) {
+	m := NewManaged(&constDevice{}, Model{}, AlwaysOn())
+	if m.Name() != "const+power" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.Capacity() != 1<<30 || m.SectorSize() != 512 {
+		t.Error("pass-through accessors wrong")
+	}
+}
+
+func TestCompressionTradeoff(t *testing.T) {
+	perBit := PerBitEnergy(MEMSModel(), 79.6e6*8)
+	// Free compression at ratio 2 halves the per-bit energy.
+	eff, ok := CompressionTradeoff(perBit, 2, 0)
+	if !ok || math.Abs(eff-perBit/2) > 1e-18 {
+		t.Errorf("free 2× compression: eff=%g ok=%v", eff, ok)
+	}
+	// Ratio 1 with any positive cpu cost loses.
+	if _, ok := CompressionTradeoff(perBit, 1, 1e-12); ok {
+		t.Error("ratio 1 can never be worthwhile")
+	}
+	// CPU cost above the saving makes it lose.
+	if _, ok := CompressionTradeoff(perBit, 2, perBit); ok {
+		t.Error("cpu cost ≥ per-bit energy cannot win")
+	}
+	for _, f := range []func(){
+		func() { CompressionTradeoff(0, 2, 0) },
+		func() { CompressionTradeoff(perBit, 0.5, 0) },
+		func() { CompressionTradeoff(perBit, 2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

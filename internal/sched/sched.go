@@ -1,0 +1,239 @@
+// Package sched implements the four request-scheduling algorithms the
+// paper compares (§4.1): First-Come-First-Served, Shortest-Seek-Time-First
+// approximated by LBN distance (SSTF_LBN), Cyclical LOOK (C-LOOK), and
+// Shortest-Positioning-Time-First (SPTF).
+//
+// All schedulers implement core.Scheduler. SSTF_LBN and C-LOOK use only
+// logical block numbers, treating LBN distance as a proxy for positioning
+// time — the information a host OS actually has (§4.1, Worthington et
+// al.). SPTF asks the device model for an exact positioning estimate,
+// which for disks captures rotational latency and for MEMS-based storage
+// captures the overlapped X/Y seeks and settling time (§4.2).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"memsim/internal/core"
+)
+
+// New constructs a scheduler by algorithm name: "FCFS", "SSTF_LBN",
+// "C-LOOK", or "SPTF". It returns an error for unknown names.
+func New(name string) (core.Scheduler, error) {
+	switch name {
+	case "FCFS":
+		return NewFCFS(), nil
+	case "SSTF_LBN", "SSTF":
+		return NewSSTF(), nil
+	case "C-LOOK", "CLOOK":
+		return NewCLOOK(), nil
+	case "SPTF":
+		return NewSPTF(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the algorithms in the paper's presentation order.
+func Names() []string { return []string{"FCFS", "SSTF_LBN", "C-LOOK", "SPTF"} }
+
+// FCFS services requests strictly in arrival order. It is the reference
+// point that saturates first in Figs. 5 and 6.
+type FCFS struct {
+	q []*core.Request
+}
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements core.Scheduler.
+func (f *FCFS) Name() string { return "FCFS" }
+
+// Add implements core.Scheduler.
+func (f *FCFS) Add(r *core.Request) { f.q = append(f.q, r) }
+
+// Len implements core.Scheduler.
+func (f *FCFS) Len() int { return len(f.q) }
+
+// Reset implements core.Scheduler.
+func (f *FCFS) Reset() { f.q = nil }
+
+// Next implements core.Scheduler.
+func (f *FCFS) Next(core.Device, float64) *core.Request {
+	if len(f.q) == 0 {
+		return nil
+	}
+	r := f.q[0]
+	// Shift rather than re-slice so the backing array does not pin every
+	// serviced request.
+	copy(f.q, f.q[1:])
+	f.q[len(f.q)-1] = nil
+	f.q = f.q[:len(f.q)-1]
+	return r
+}
+
+// lastLBN tracks the block following the most recently dispatched request,
+// the reference point for LBN-distance algorithms.
+type lastLBN struct {
+	pos int64
+}
+
+func (l *lastLBN) dispatched(r *core.Request) { l.pos = r.LBN + int64(r.Blocks) }
+
+// SSTF schedules the pending request whose starting LBN is closest to the
+// last accessed LBN ("SSTF_LBN" in the paper): a greedy policy with good
+// average performance but poor starvation resistance.
+type SSTF struct {
+	q []*core.Request
+	lastLBN
+}
+
+// NewSSTF returns an empty SSTF_LBN queue.
+func NewSSTF() *SSTF { return &SSTF{} }
+
+// Name implements core.Scheduler.
+func (s *SSTF) Name() string { return "SSTF_LBN" }
+
+// Add implements core.Scheduler.
+func (s *SSTF) Add(r *core.Request) { s.q = append(s.q, r) }
+
+// Len implements core.Scheduler.
+func (s *SSTF) Len() int { return len(s.q) }
+
+// Reset implements core.Scheduler.
+func (s *SSTF) Reset() { s.q, s.pos = nil, 0 }
+
+// Next implements core.Scheduler.
+func (s *SSTF) Next(core.Device, float64) *core.Request {
+	if len(s.q) == 0 {
+		return nil
+	}
+	best, bestDist := 0, int64(-1)
+	for i, r := range s.q {
+		d := r.LBN - s.pos
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return s.take(best)
+}
+
+func (s *SSTF) take(i int) *core.Request {
+	r := s.q[i]
+	s.q[i] = s.q[len(s.q)-1]
+	s.q[len(s.q)-1] = nil
+	s.q = s.q[:len(s.q)-1]
+	s.dispatched(r)
+	return r
+}
+
+// CLOOK services requests in ascending LBN order, starting over with the
+// lowest pending LBN once no request lies ahead of the most recent one
+// (Seaman et al., 1966). It trades a little average performance for the
+// best starvation resistance of the four policies.
+type CLOOK struct {
+	q []*core.Request
+	lastLBN
+}
+
+// NewCLOOK returns an empty C-LOOK queue.
+func NewCLOOK() *CLOOK { return &CLOOK{} }
+
+// Name implements core.Scheduler.
+func (c *CLOOK) Name() string { return "C-LOOK" }
+
+// Add implements core.Scheduler.
+func (c *CLOOK) Add(r *core.Request) { c.q = append(c.q, r) }
+
+// Len implements core.Scheduler.
+func (c *CLOOK) Len() int { return len(c.q) }
+
+// Reset implements core.Scheduler.
+func (c *CLOOK) Reset() { c.q, c.pos = nil, 0 }
+
+// Next implements core.Scheduler.
+func (c *CLOOK) Next(core.Device, float64) *core.Request {
+	if len(c.q) == 0 {
+		return nil
+	}
+	// The request with the smallest LBN ≥ pos; if none, wrap to the
+	// smallest LBN overall.
+	ahead, lowest := -1, 0
+	for i, r := range c.q {
+		if r.LBN < c.q[lowest].LBN {
+			lowest = i
+		}
+		if r.LBN >= c.pos && (ahead < 0 || r.LBN < c.q[ahead].LBN) {
+			ahead = i
+		}
+	}
+	pick := ahead
+	if pick < 0 {
+		pick = lowest
+	}
+	r := c.q[pick]
+	c.q[pick] = c.q[len(c.q)-1]
+	c.q[len(c.q)-1] = nil
+	c.q = c.q[:len(c.q)-1]
+	c.dispatched(r)
+	return r
+}
+
+// SPTF services the pending request with the smallest predicted
+// positioning (service) time, asking the device model for an exact
+// estimate from its current mechanical state (Seltzer et al.; Jacobson &
+// Wilkes). For disks this accounts for rotational position; for
+// MEMS-based storage it accounts for the parallel X/Y seeks, spring
+// forces, and settling time.
+type SPTF struct {
+	q []*core.Request
+}
+
+// NewSPTF returns an empty SPTF queue.
+func NewSPTF() *SPTF { return &SPTF{} }
+
+// Name implements core.Scheduler.
+func (s *SPTF) Name() string { return "SPTF" }
+
+// Add implements core.Scheduler.
+func (s *SPTF) Add(r *core.Request) { s.q = append(s.q, r) }
+
+// Len implements core.Scheduler.
+func (s *SPTF) Len() int { return len(s.q) }
+
+// Reset implements core.Scheduler.
+func (s *SPTF) Reset() { s.q = nil }
+
+// Next implements core.Scheduler.
+func (s *SPTF) Next(d core.Device, now float64) *core.Request {
+	if len(s.q) == 0 {
+		return nil
+	}
+	best, bestT := 0, 0.0
+	for i, r := range s.q {
+		t := d.EstimateAccess(r, now)
+		if i == 0 || t < bestT {
+			best, bestT = i, t
+		}
+	}
+	r := s.q[best]
+	s.q[best] = s.q[len(s.q)-1]
+	s.q[len(s.q)-1] = nil
+	s.q = s.q[:len(s.q)-1]
+	return r
+}
+
+// Drain removes and returns all pending requests in LBN order; tests use
+// it to inspect queue contents.
+func Drain(s core.Scheduler, d core.Device, now float64) []*core.Request {
+	var out []*core.Request
+	for s.Len() > 0 {
+		out = append(out, s.Next(d, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LBN < out[j].LBN })
+	return out
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/workload"
+)
+
+func multiFixtures(n int, svc float64) ([]core.Device, []core.Scheduler) {
+	devs := make([]core.Device, n)
+	scheds := make([]core.Scheduler, n)
+	for i := range devs {
+		devs[i] = &fixedDevice{svc: svc}
+		scheds[i] = sched.NewFCFS()
+	}
+	return devs, scheds
+}
+
+func TestRunMultiParallelism(t *testing.T) {
+	// Four simultaneous arrivals onto four devices: all finish at svc.
+	devs, scheds := multiFixtures(4, 2)
+	reqs := mkReqs([]float64{0, 0, 0, 0})
+	for i, r := range reqs {
+		r.LBN = int64(i) * 100 // route one to each device
+	}
+	res := RunMulti(devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	if res.Requests != 4 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Response.Mean() != 2 || res.Response.Max() != 2 {
+		t.Errorf("responses = mean %g max %g, want all 2 (parallel)", res.Response.Mean(), res.Response.Max())
+	}
+	if res.Elapsed != 2 {
+		t.Errorf("elapsed = %g, want 2", res.Elapsed)
+	}
+}
+
+func TestRunMultiSerializesPerDevice(t *testing.T) {
+	// Four simultaneous arrivals onto one device of four: they queue.
+	devs, scheds := multiFixtures(4, 2)
+	reqs := mkReqs([]float64{0, 0, 0, 0})
+	res := RunMulti(devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	if res.Response.Max() != 8 {
+		t.Errorf("max response = %g, want 8 (serialized)", res.Response.Max())
+	}
+}
+
+func TestRunMultiMatchesSingleDeviceRun(t *testing.T) {
+	// With one device, RunMulti must agree exactly with Run.
+	d1 := mems.MustDevice(mems.DefaultConfig())
+	src1 := workload.DefaultRandom(900, 512, d1.Capacity(), 3000, 9)
+	single := Run(d1, sched.NewFCFS(), src1, Options{Warmup: 100})
+
+	d2 := mems.MustDevice(mems.DefaultConfig())
+	src2 := workload.DefaultRandom(900, 512, d2.Capacity(), 3000, 9)
+	multi := RunMulti([]core.Device{d2}, []core.Scheduler{sched.NewFCFS()},
+		ConcatRouter(d2.Capacity()), src2, Options{Warmup: 100})
+
+	if math.Abs(single.Response.Mean()-multi.Response.Mean()) > 1e-9 {
+		t.Errorf("single %.6f vs multi %.6f", single.Response.Mean(), multi.Response.Mean())
+	}
+	if single.Requests != multi.Requests {
+		t.Errorf("request counts differ: %d vs %d", single.Requests, multi.Requests)
+	}
+}
+
+func TestRunMultiScalesThroughput(t *testing.T) {
+	// A rate that saturates one MEMS device is comfortable for four.
+	mk := func(n int) ([]core.Device, []core.Scheduler, int64) {
+		devs := make([]core.Device, n)
+		scheds := make([]core.Scheduler, n)
+		for i := range devs {
+			devs[i] = mems.MustDevice(mems.DefaultConfig())
+			scheds[i] = sched.NewSPTF()
+		}
+		return devs, scheds, devs[0].Capacity()
+	}
+	devs1, scheds1, cap1 := mk(1)
+	src := workload.DefaultRandom(2000, 512, cap1, 6000, 4)
+	one := RunMulti(devs1, scheds1, ConcatRouter(cap1), src, Options{Warmup: 500})
+
+	devs4, scheds4, cap4 := mk(4)
+	src4 := workload.DefaultRandom(2000, 512, 4*cap4, 6000, 4)
+	four := RunMulti(devs4, scheds4, ConcatRouter(cap4), src4, Options{Warmup: 500})
+
+	if four.Response.Mean()*3 > one.Response.Mean() {
+		t.Errorf("4-device volume %.2f ms should be far below saturated single %.2f ms",
+			four.Response.Mean(), one.Response.Mean())
+	}
+}
+
+func TestRunMultiMaxRequests(t *testing.T) {
+	devs, scheds := multiFixtures(2, 1)
+	src := workload.NewFromSlice(mkReqs(make([]float64, 50)))
+	res := RunMulti(devs, scheds, ConcatRouter(1<<29), src, Options{MaxRequests: 7})
+	if res.Requests != 7 {
+		t.Errorf("requests = %d, want 7", res.Requests)
+	}
+}
+
+func TestRunMultiPanics(t *testing.T) {
+	devs, scheds := multiFixtures(2, 1)
+	for _, f := range []func(){
+		func() { RunMulti(nil, nil, nil, nil, Options{}) },
+		func() { RunMulti(devs, scheds[:1], nil, nil, Options{}) },
+		func() {
+			bad := func(*core.Request) (int, *core.Request) { return 5, &core.Request{Blocks: 1} }
+			RunMulti(devs, scheds, bad, workload.NewFromSlice(mkReqs([]float64{0})), Options{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcatRouter(t *testing.T) {
+	r := ConcatRouter(1000)
+	dev, nr := r(&core.Request{LBN: 2500, Blocks: 8})
+	if dev != 2 || nr.LBN != 500 || nr.Blocks != 8 {
+		t.Errorf("routed to dev=%d lbn=%d blocks=%d", dev, nr.LBN, nr.Blocks)
+	}
+	// Spill past the member boundary is clamped.
+	_, nr = r(&core.Request{LBN: 995, Blocks: 10})
+	if nr.Blocks != 5 {
+		t.Errorf("clamped blocks = %d, want 5", nr.Blocks)
+	}
+}
+
+func TestStripeRouter(t *testing.T) {
+	r := StripeRouter(8, 4)
+	// Strip 0 → dev 0 row 0; strip 1 → dev 1 row 0; strip 4 → dev 0 row 1.
+	dev, nr := r(&core.Request{LBN: 0, Blocks: 8})
+	if dev != 0 || nr.LBN != 0 {
+		t.Errorf("strip 0: dev=%d lbn=%d", dev, nr.LBN)
+	}
+	dev, nr = r(&core.Request{LBN: 8, Blocks: 8})
+	if dev != 1 || nr.LBN != 0 {
+		t.Errorf("strip 1: dev=%d lbn=%d", dev, nr.LBN)
+	}
+	dev, nr = r(&core.Request{LBN: 32, Blocks: 8})
+	if dev != 0 || nr.LBN != 8 {
+		t.Errorf("strip 4: dev=%d lbn=%d", dev, nr.LBN)
+	}
+	// Requests crossing a strip boundary are clamped to the strip.
+	_, nr = r(&core.Request{LBN: 6, Blocks: 8})
+	if nr.Blocks != 2 {
+		t.Errorf("clamped blocks = %d, want 2", nr.Blocks)
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim is the discrete-event simulation substrate standing in for
+// DiskSim (§3): an open-arrival, single-server queueing system in which
+// timestamped requests arrive from a workload source, wait in a scheduler
+// queue, and are serviced one at a time by a mechanically-detailed device
+// model.
+//
+// The simulator is deterministic: identical sources, schedulers and
+// devices produce identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memsim/internal/core"
+	"memsim/internal/stats"
+	"memsim/internal/workload"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// Warmup excludes the first N completed requests from the reported
+	// statistics, hiding cold-start transients.
+	Warmup int
+	// MaxRequests stops the run after this many completions (0 = run the
+	// source dry).
+	MaxRequests int
+	// OnComplete, when non-nil, observes every completed request
+	// (including warmup ones).
+	OnComplete func(*core.Request)
+}
+
+// Result summarizes a run. Response time (queue + service) and its
+// squared coefficient of variation are the paper's two scheduler metrics
+// (§4.1).
+type Result struct {
+	// Requests is the number of completions measured (after warmup).
+	Requests int
+	// Response accumulates response times in ms.
+	Response stats.Welford
+	// Service accumulates device service times in ms.
+	Service stats.Welford
+	// QueueLen accumulates the queue length seen at each dispatch.
+	QueueLen stats.Welford
+	// MaxQueue is the largest queue length observed.
+	MaxQueue int
+	// Busy is the total device busy time in ms.
+	Busy float64
+	// Elapsed is the completion time of the last request in ms.
+	Elapsed float64
+}
+
+// Utilization returns the fraction of elapsed time the device was busy.
+func (r *Result) Utilization() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return r.Busy / r.Elapsed
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("n=%d mean-response=%.3fms cv²=%.2f mean-service=%.3fms util=%.0f%%",
+		r.Requests, r.Response.Mean(), r.Response.SquaredCV(), r.Service.Mean(), r.Utilization()*100)
+}
+
+// Run executes an open-arrival simulation: requests arrive at their
+// source-assigned times, queue in s, and are serviced by d. The device
+// and scheduler are Reset before the run.
+func Run(d core.Device, s core.Scheduler, src workload.Source, opts Options) Result {
+	d.Reset()
+	s.Reset()
+	var res Result
+	now := 0.0
+	next := src.Next()
+	completed := 0
+	for {
+		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
+			break
+		}
+		// Ingest every request that has arrived by `now`.
+		for next != nil && next.Arrival <= now {
+			s.Add(next)
+			next = src.Next()
+		}
+		if s.Len() == 0 {
+			if next == nil {
+				break // drained
+			}
+			// Idle until the next arrival.
+			now = next.Arrival
+			continue
+		}
+		qlen := s.Len()
+		r := s.Next(d, now)
+		r.Start = now
+		svc := d.Access(r, now)
+		r.Finish = now + svc
+		now = r.Finish
+		res.Busy += svc
+		completed++
+		if opts.OnComplete != nil {
+			opts.OnComplete(r)
+		}
+		if completed > opts.Warmup {
+			res.Requests++
+			res.Response.Add(r.ResponseTime())
+			res.Service.Add(svc)
+			res.QueueLen.Add(float64(qlen))
+			if qlen > res.MaxQueue {
+				res.MaxQueue = qlen
+			}
+		}
+	}
+	res.Elapsed = now
+	return res
+}
+
+// RunClosed executes a closed, back-to-back simulation: each request
+// begins the moment the previous one completes (no queueing). This is the
+// regime of the data-placement experiments (§5.3), which compare average
+// service times.
+func RunClosed(d core.Device, src workload.Source, opts Options) Result {
+	d.Reset()
+	var res Result
+	now := 0.0
+	completed := 0
+	for r := src.Next(); r != nil; r = src.Next() {
+		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
+			break
+		}
+		r.Arrival = now
+		r.Start = now
+		svc := d.Access(r, now)
+		r.Finish = now + svc
+		now = r.Finish
+		res.Busy += svc
+		completed++
+		if opts.OnComplete != nil {
+			opts.OnComplete(r)
+		}
+		if completed > opts.Warmup {
+			res.Requests++
+			res.Response.Add(svc)
+			res.Service.Add(svc)
+		}
+	}
+	res.Elapsed = now
+	return res
+}
+
+// ─── Generic event queue ───────────────────────────────────────────────
+//
+// The queueing loops above need no event heap, but other simulations in
+// this repository (the power-management policies, which juggle idle
+// timers and restarts) do. EventQueue is a minimal deterministic
+// time-ordered event list with stable FIFO ordering for simultaneous
+// events.
+
+// Event is a timestamped callback.
+type Event struct {
+	Time float64
+	Fn   func()
+
+	seq int // insertion order, for stable ordering of ties
+}
+
+// EventQueue dispatches events in time order. The zero value is ready to
+// use.
+type EventQueue struct {
+	h   eventHeap
+	seq int
+	now float64
+}
+
+// Now returns the time of the most recently dispatched event.
+func (q *EventQueue) Now() float64 { return q.now }
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time t. Scheduling in the past (before
+// the last dispatched event) panics: it indicates a simulation bug.
+func (q *EventQueue) Schedule(t float64, fn func()) {
+	if t < q.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before current time %g", t, q.now))
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{Time: t, Fn: fn, seq: q.seq})
+}
+
+// Step dispatches the earliest event; it reports whether one was run.
+func (q *EventQueue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.Time
+	e.Fn()
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// is after t.
+func (q *EventQueue) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].Time <= t {
+		q.Step()
+	}
+	if q.now < t {
+		q.now = t
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

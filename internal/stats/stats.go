@@ -1,0 +1,222 @@
+// Package stats provides the streaming statistics used throughout the
+// simulator: online mean/variance accumulation (Welford's algorithm), the
+// squared coefficient of variation that the paper uses as its starvation
+// metric, fixed-bucket histograms, and percentile estimation over retained
+// samples.
+//
+// All accumulators are plain values whose zero value is ready to use, in
+// keeping with the rest of the standard library.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance without retaining
+// samples. The zero value is an empty accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N reports the number of observations added.
+func (w Welford) N() int64 { return w.n }
+
+// Mean returns the arithmetic mean of the observations, or 0 if empty.
+func (w Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (w Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (w Welford) Max() float64 { return w.max }
+
+// Variance returns the population variance (dividing by n), or 0 when
+// fewer than two observations have been added.
+func (w Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1),
+// or 0 when fewer than two observations have been added.
+func (w Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// SquaredCV returns the squared coefficient of variation, σ²/µ². This is
+// the metric of "fairness" (starvation resistance) used in the paper
+// (after Teorey & Pinkerton and Worthington et al.): lower values indicate
+// better starvation resistance. Returns 0 if the mean is zero.
+func (w Welford) SquaredCV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Variance() / (w.mean * w.mean)
+}
+
+// Merge folds the contents of other into w, as if every observation added
+// to other had been added to w. (Chan et al.'s parallel variance update.)
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += delta * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// Sample retains every observation so that exact order statistics can be
+// computed afterwards. The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. Returns 0 if empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Histogram counts observations into equal-width buckets over [Lo, Hi).
+// Observations outside the range are tallied in Under/Over.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo, which indicate programmer
+// error rather than runtime conditions.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram bucket count must be positive")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // guard against floating-point edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total reports the number of observations tallied, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram[%g,%g) buckets=%d total=%d under=%d over=%d",
+		h.Lo, h.Hi, len(h.Buckets), h.total, h.Under, h.Over)
+}

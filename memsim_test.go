@@ -1,0 +1,204 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	dev, err := NewMEMSDevice(DefaultMEMSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler("SPTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRandomWorkload(800, dev.SectorSize(), dev.Capacity(), 2000, 42)
+	res := Simulate(dev, s, src, SimOptions{Warmup: 200})
+	if res.Requests != 1800 {
+		t.Fatalf("measured %d requests", res.Requests)
+	}
+	if m := res.Response.Mean(); m <= 0 || m > 10 {
+		t.Errorf("mean response = %g ms", m)
+	}
+	if !strings.Contains(res.String(), "mean-response") {
+		t.Error("result string malformed")
+	}
+}
+
+func TestFacadeDisk(t *testing.T) {
+	dev, err := NewDiskDevice(Atlas10KConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler("C-LOOK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRandomWorkload(50, dev.SectorSize(), dev.Capacity(), 500, 1)
+	res := Simulate(dev, s, src, SimOptions{})
+	if res.Requests != 500 {
+		t.Fatalf("measured %d requests", res.Requests)
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	dev, _ := NewMEMSDevice(DefaultMEMSConfig())
+	for _, tr := range []*Trace{
+		GenerateCelloTrace(dev.Capacity(), 500),
+		GenerateTPCCTrace(dev.Capacity(), 500),
+	} {
+		if tr.Len() != 500 {
+			t.Fatalf("%s: %d records", tr.Name, tr.Len())
+		}
+		s, _ := NewScheduler("FCFS")
+		res := Simulate(dev, s, TraceSource(tr), SimOptions{})
+		if res.Requests != 500 {
+			t.Fatalf("%s: completed %d", tr.Name, res.Requests)
+		}
+	}
+}
+
+func TestFacadePower(t *testing.T) {
+	dev, _ := NewMEMSDevice(DefaultMEMSConfig())
+	m := NewPowerManaged(dev, MEMSPowerModel(), ImmediateIdle())
+	s, _ := NewScheduler("FCFS")
+	src := NewRandomWorkload(20, dev.SectorSize(), dev.Capacity(), 300, 3)
+	res := Simulate(m, s, src, SimOptions{})
+	m.FinishAt(res.Elapsed)
+	rep := m.Report()
+	if rep.TotalJ() <= 0 || rep.Restarts == 0 {
+		t.Errorf("power report: %+v", rep)
+	}
+	if MobileDiskPowerModel().RestartMs <= MEMSPowerModel().RestartMs {
+		t.Error("disk restart should dwarf MEMS restart")
+	}
+	if AlwaysOn().TimeoutMs <= ImmediateIdle().TimeoutMs {
+		t.Error("policy constructors inverted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 21 {
+		t.Fatalf("experiment IDs: %v", ids)
+	}
+	tables, err := RunExperiment("table1", QuickExperimentParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if _, err := RunExperiment("nope", QuickExperimentParams()); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if DefaultExperimentParams().Requests <= QuickExperimentParams().Requests {
+		t.Error("default params should exceed quick params")
+	}
+}
+
+func TestFacadeSchedulerNames(t *testing.T) {
+	names := SchedulerNames()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := NewScheduler(n); err != nil {
+			t.Errorf("NewScheduler(%q): %v", n, err)
+		}
+	}
+}
+
+func TestFacadeManagedDeviceAndClosedSim(t *testing.T) {
+	dev, _ := NewMEMSDevice(DefaultMEMSConfig())
+	md := NewManagedDevice(dev, nil)
+	reqs := []*Request{
+		{Op: Read, LBN: 0, Blocks: 8},
+		{Op: Write, LBN: 5000, Blocks: 8},
+	}
+	res := SimulateClosed(md, RequestsSource(reqs), SimOptions{})
+	if res.Requests != 2 {
+		t.Fatalf("completed %d", res.Requests)
+	}
+}
+
+func TestFacadeArrayAndCache(t *testing.T) {
+	members := make([]Device, 4)
+	for i := range members {
+		d, err := NewMEMSDevice(DefaultMEMSConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = d
+	}
+	arr, err := NewDeviceArray(ArrayConfig{Level: RAID5, StripeUnit: 8}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Capacity() != 3*members[0].Capacity() {
+		t.Errorf("RAID-5 capacity = %d", arr.Capacity())
+	}
+	if svc := arr.Access(&Request{Op: Write, LBN: 0, Blocks: 8}, 0); svc <= 0 {
+		t.Errorf("array write service = %g", svc)
+	}
+
+	inner, _ := NewMEMSDevice(DefaultMEMSConfig())
+	c := NewCachedDevice(inner, DefaultCacheConfig())
+	c.Access(&Request{Op: Read, LBN: 0, Blocks: 8}, 0)
+	c.Access(&Request{Op: Read, LBN: 8, Blocks: 8}, 0)
+	if c.Hits() == 0 {
+		t.Error("read-ahead should produce a hit")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	s := NewAgedSPTF(0.05)
+	if s.Name() != "ASPTF(0.05)" {
+		t.Errorf("name = %q", s.Name())
+	}
+	g2, g3 := MEMSConfigGen2(), MEMSConfigGen3()
+	d2, err := NewMEMSDevice(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := NewMEMSDevice(g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Capacity() <= d2.Capacity() {
+		t.Error("generations should grow capacity")
+	}
+	inner, _ := NewMEMSDevice(DefaultMEMSConfig())
+	sr := NewSlipRemapDevice(inner)
+	sr.Remap(0, inner.Capacity()-1)
+	if sr.Remapped() != 1 {
+		t.Error("remap table")
+	}
+}
+
+func TestFacadeSimulateMulti(t *testing.T) {
+	devs := make([]Device, 2)
+	scheds := make([]Scheduler, 2)
+	for i := range devs {
+		d, err := NewMEMSDevice(DefaultMEMSConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+		scheds[i], err = NewScheduler("SPTF")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := devs[0].Capacity()
+	src := NewRandomWorkload(1000, 512, 2*per, 800, 6)
+	res := SimulateMulti(devs, scheds, ConcatRouter(per), src, SimOptions{})
+	if res.Requests != 800 {
+		t.Fatalf("completed %d", res.Requests)
+	}
+	if StripeRouter(8, 2) == nil {
+		t.Fatal("nil router")
+	}
+}
