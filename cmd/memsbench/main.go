@@ -7,10 +7,16 @@
 //	memsbench -run fig6,table2    # several
 //	memsbench -quick              # reduced sizes (seconds instead of minutes)
 //	memsbench -csv -o results/    # write one CSV per table instead of text
+//	memsbench -parallel 8         # worker-pool width (default: NumCPU)
+//	memsbench -progress           # report per-job completions to stderr
 //	memsbench -list               # list artifact IDs
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault and power (DESIGN.md §2).
+//
+// Every experiment is a batch of isolated jobs (internal/runner), so
+// -parallel N spreads the suite over N workers while producing output
+// byte-identical to a sequential run.
 package main
 
 import (
@@ -18,20 +24,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"memsim/internal/experiments"
+	"memsim/internal/runner"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
-		quick = flag.Bool("quick", false, "use reduced simulation sizes")
-		csv   = flag.Bool("csv", false, "emit CSV files instead of text tables")
-		out   = flag.String("o", "", "output directory for -csv (default: current)")
-		list  = flag.Bool("list", false, "list artifact IDs and exit")
-		seed  = flag.Int64("seed", 1, "random seed for all generators")
-		reqs  = flag.Int("requests", 0, "override per-run request count")
+		run      = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
+		quick    = flag.Bool("quick", false, "use reduced simulation sizes")
+		csv      = flag.Bool("csv", false, "emit CSV files instead of text tables")
+		out      = flag.String("o", "", "output directory for -csv (default: current)")
+		list     = flag.Bool("list", false, "list artifact IDs and exit")
+		seed     = flag.Int64("seed", 1, "random seed for all generators")
+		reqs     = flag.Int("requests", 0, "override per-run request count (rescales warmup, closed runs and trials proportionally)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation jobs to run concurrently")
+		progress = flag.Bool("progress", false, "report per-job completions to stderr")
 	)
 	flag.Parse()
 
@@ -47,50 +57,71 @@ func main() {
 		p = experiments.Quick()
 	}
 	p.Seed = *seed
-	if *reqs > 0 {
-		p.Requests = *reqs
-		if p.Warmup >= *reqs/2 {
-			p.Warmup = *reqs / 10
-		}
-	}
+	p = p.WithRequests(*reqs)
 
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		tables, err := experiments.Run(id, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memsbench:", err)
-			os.Exit(1)
+	ctx := &runner.Context{Workers: *parallel}
+	if *progress {
+		ctx.Progress = func(ev runner.Event) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "memsbench: [%d/%d] %s: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "memsbench: [%d/%d] %s (%.0f ms wall, %.0f ms simulated)\n",
+				ev.Done, ev.Total, ev.Label, ev.WallMs, ev.SimMs)
 		}
+	}
+
+	results, sum, err := experiments.RunMany(ctx, ids, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsbench:", err)
+		os.Exit(1)
+	}
+	if *progress {
+		simTotal := sum.Sim.Mean() * float64(sum.Sim.N())
+		fmt.Fprintf(os.Stderr, "memsbench: %d jobs in %.0f ms wall (%.0f ms simulated across jobs)\n",
+			sum.Jobs, sum.ElapsedMs, simTotal)
+	}
+
+	for _, tables := range results {
 		for _, t := range tables {
 			if *csv {
-				dir := *out
-				if dir == "" {
-					dir = "."
-				}
-				if err := os.MkdirAll(dir, 0o755); err != nil {
-					fmt.Fprintln(os.Stderr, "memsbench:", err)
-					os.Exit(1)
-				}
-				path := filepath.Join(dir, t.ID+".csv")
-				f, err := os.Create(path)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "memsbench:", err)
-					os.Exit(1)
-				}
-				t.CSV(f)
-				if err := f.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, "memsbench:", err)
-					os.Exit(1)
-				}
-				fmt.Println("wrote", path)
+				writeCSV(t, *out)
 			} else {
 				t.Fprint(os.Stdout)
 			}
 		}
 	}
+}
+
+func writeCSV(t experiments.Table, out string) {
+	dir := out
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	t.CSV(f)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memsbench:", err)
+	os.Exit(1)
 }

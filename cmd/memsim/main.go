@@ -37,6 +37,7 @@ func main() {
 		traceKind = flag.String("trace", "", "replay a synthetic trace instead: cello | tpcc")
 		traceFile = flag.String("tracefile", "", "replay a trace file (text format)")
 		scale     = flag.Float64("scale", 1, "trace scale factor (arrival-rate multiplier)")
+		progress  = flag.Bool("progress", false, "report completions to stderr while the run is in flight")
 	)
 	flag.Parse()
 
@@ -93,7 +94,17 @@ func main() {
 		src = workload.DefaultRandom(*rate, dev.SectorSize(), dev.Capacity(), *requests, *seed)
 	}
 
-	res := sim.Run(dev, s, src, sim.Options{Warmup: *warmup})
+	var ctx *sim.Context
+	if *progress {
+		ctx = &sim.Context{
+			ProgressEvery: 1000,
+			OnProgress: func(completed int, simMs float64) {
+				fmt.Fprintf(os.Stderr, "memsim: %d/%d requests, %.0f ms simulated\n",
+					completed, *requests, simMs)
+			},
+		}
+	}
+	res := sim.Run(ctx, dev, s, src, sim.Options{Warmup: *warmup})
 	fmt.Printf("device           %s\n", dev.Name())
 	fmt.Printf("scheduler        %s\n", s.Name())
 	fmt.Printf("requests         %d (after %d warmup)\n", res.Requests, *warmup)

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"memsim/internal/runner"
+)
+
+// renderAll renders every table of every result set as CSV — the bytes
+// memsbench would write.
+func renderAll(results [][]Table) []byte {
+	var buf bytes.Buffer
+	for _, ts := range results {
+		for _, tb := range ts {
+			tb.CSV(&buf)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSequentialOutput is the job layer's core guarantee:
+// for every artifact, an 8-worker run emits bytes identical to a
+// 1-worker run. Any job that leaked state across siblings — a shared
+// device, scheduler, rng or request slice — would show up here as a
+// numeric diff.
+func TestParallelMatchesSequentialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	p := Params{Requests: 800, Warmup: 80, ClosedRequests: 400, Trials: 80, Seed: 3}
+	ids := IDs()
+
+	seq, _, err := RunMany(runner.Sequential(), ids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := RunMany(&runner.Context{Workers: 8}, ids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, id := range ids {
+		a, b := renderAll([][]Table{seq[i]}), renderAll([][]Table{par[i]})
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: parallel output diverged from sequential\n--- sequential ---\n%s--- parallel ---\n%s",
+				id, a, b)
+		}
+	}
+}
+
+// TestRunManyBatchesInDeclarationOrder checks the multi-experiment path
+// used by memsbench: one pool over all requested IDs, results returned
+// per ID in request order.
+func TestRunManyBatchesInDeclarationOrder(t *testing.T) {
+	p := Params{Requests: 400, Warmup: 40, ClosedRequests: 200, Trials: 60, Seed: 1}
+	ids := []string{"table2", "table1", "seekprofile"}
+	results, sum, err := RunMany(&runner.Context{Workers: 4}, ids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("results = %d, want %d", len(results), len(ids))
+	}
+	if results[0][0].ID != "table2" || results[1][0].ID != "table1" {
+		t.Errorf("results not in request order: %s, %s", results[0][0].ID, results[1][0].ID)
+	}
+	if sum.Jobs != 3 {
+		t.Errorf("summary jobs = %d, want 3 (one per single-job plan)", sum.Jobs)
+	}
+}
+
+func TestRunManyUnknownID(t *testing.T) {
+	_, _, err := RunMany(runner.Sequential(), []string{"fig99"}, tiny())
+	if err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestWithRequestsScalesAllRegimes(t *testing.T) {
+	p := Default() // 20000/2000/10000/2000
+	s := p.WithRequests(2000)
+	want := Params{Requests: 2000, Warmup: 200, ClosedRequests: 1000, Trials: 200, Seed: p.Seed}
+	if s != want {
+		t.Errorf("WithRequests(2000) = %+v, want %+v", s, want)
+	}
+	// Scaling up works too.
+	u := p.WithRequests(40000)
+	if u.Warmup != 4000 || u.ClosedRequests != 20000 || u.Trials != 4000 {
+		t.Errorf("WithRequests(40000) = %+v", u)
+	}
+	// Tiny overrides never zero out a regime.
+	tinyP := p.WithRequests(3)
+	if tinyP.Warmup < 1 || tinyP.ClosedRequests < 1 || tinyP.Trials < 1 {
+		t.Errorf("WithRequests(3) zeroed a field: %+v", tinyP)
+	}
+	// Non-positive n is a no-op.
+	if p.WithRequests(0) != p || p.WithRequests(-5) != p {
+		t.Error("WithRequests with non-positive n should be a no-op")
+	}
+}
+
+func TestFprintWideRows(t *testing.T) {
+	tb := Table{ID: "wide", Title: "rows wider than the header", Columns: []string{"a"}}
+	tb.AddRow("1", "extra-cell", "another")
+	tb.AddRow("2", "x")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("extra-cell  another")) {
+		t.Errorf("wide row cells missing or misaligned:\n%s", out)
+	}
+}

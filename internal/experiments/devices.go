@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"memsim/internal/core"
 	"memsim/internal/disk"
 	"memsim/internal/mems"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
@@ -21,30 +24,71 @@ func newMEMS(settleConstants float64) *mems.Device {
 // newDisk builds the Atlas-10K-style reference disk.
 func newDisk() *disk.Device { return disk.MustDevice(disk.Atlas10K()) }
 
-// schedulerSweep runs the random workload over every scheduler at every
-// rate and returns, per rate, mean response time and squared coefficient
-// of variation per scheduler — the two panels of Figs. 5 and 6.
-func schedulerSweep(d core.Device, rates []float64, p Params) (resp, cv [][]float64) {
-	resp = make([][]float64, len(rates))
-	cv = make([][]float64, len(rates))
-	for ri, rate := range rates {
-		resp[ri] = make([]float64, len(sched.Names()))
-		cv[ri] = make([]float64, len(sched.Names()))
-		for si, name := range sched.Names() {
-			s, err := sched.New(name)
-			if err != nil {
-				panic(err) // names come from sched.Names
-			}
-			src := workload.DefaultRandom(rate, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
-			res := sim.Run(d, s, src, sim.Options{Warmup: p.Warmup})
-			resp[ri][si] = res.Response.Mean()
-			cv[ri][si] = res.Response.SquaredCV()
-		}
-	}
-	return resp, cv
+// memsFactory returns a factory for MEMS devices with the given settling
+// constant, so each job gets its own instance.
+func memsFactory(settleConstants float64) core.DeviceFactory {
+	return func() core.Device { return newMEMS(settleConstants) }
 }
 
-// sweepTables renders a schedulerSweep into the paper's two-panel form.
+// diskFactory is a core.DeviceFactory for the reference disk.
+func diskFactory() core.Device { return newDisk() }
+
+// schedFactory returns a factory for the named scheduler. The names come
+// from sched.Names, so construction cannot fail.
+func schedFactory(name string) core.SchedulerFactory {
+	return func() core.Scheduler {
+		s, err := sched.New(name)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+// sweepPlan declares the random-workload scheduler sweep — one job per
+// (rate, scheduler) cell — and assembles the two-panel mean-response /
+// cv² tables of Figs. 5, 6 and 8.
+func sweepPlan(idPrefix, device string, dev core.DeviceFactory, rates []float64, p Params) *Plan {
+	names := sched.Names()
+	grid := make([][]*runner.Job, len(rates))
+	var jobs []*runner.Job
+	for ri, rate := range rates {
+		grid[ri] = make([]*runner.Job, len(names))
+		for si, name := range names {
+			j := &runner.Job{
+				Label:     fmt.Sprintf("%s %s rate=%g", idPrefix, name, rate),
+				Seed:      p.Seed,
+				Device:    dev,
+				Scheduler: schedFactory(name),
+				Source: func(d core.Device) workload.Source {
+					return workload.DefaultRandom(rate, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
+				},
+				Options: sim.Options{Warmup: p.Warmup},
+			}
+			grid[ri][si] = j
+			jobs = append(jobs, j)
+		}
+	}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			resp := make([][]float64, len(rates))
+			cv := make([][]float64, len(rates))
+			for ri := range rates {
+				resp[ri] = make([]float64, len(names))
+				cv[ri] = make([]float64, len(names))
+				for si := range names {
+					res := grid[ri][si].Result()
+					resp[ri][si] = res.Response.Mean()
+					cv[ri][si] = res.Response.SquaredCV()
+				}
+			}
+			return sweepTables(idPrefix, device, rates, resp, cv)
+		},
+	}
+}
+
+// sweepTables renders a scheduler sweep into the paper's two-panel form.
 func sweepTables(idPrefix, device string, rates []float64, resp, cv [][]float64) []Table {
 	a := Table{
 		ID:      idPrefix + "a",

@@ -1,11 +1,15 @@
 // Package experiments regenerates every table and figure in the paper's
-// evaluation, one function per artifact, plus the two quantified
+// evaluation, one builder per artifact, plus the two quantified
 // extensions (fault tolerance and power) described in DESIGN.md §2.
 //
-// Each experiment returns Tables: named, captioned, printable grids whose
-// rows/series correspond to what the paper reports. Absolute numbers come
-// from this repository's re-derived device models; EXPERIMENTS.md records
-// the paper-vs-measured comparison.
+// Each experiment declares a Plan: a set of independent runner.Jobs (one
+// per simulation run) and an Assemble step that reads the finished jobs
+// in declaration order and renders Tables — named, captioned, printable
+// grids whose rows/series correspond to what the paper reports. Because
+// assembly order is fixed by the declaration, executing a plan's jobs on
+// a parallel worker pool produces output byte-identical to a sequential
+// run. Absolute numbers come from this repository's re-derived device
+// models; EXPERIMENTS.md records the paper-vs-measured comparison.
 package experiments
 
 import (
@@ -13,6 +17,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"memsim/internal/runner"
 )
 
 // Params sizes the simulations. Default is used by cmd/memsbench; Quick
@@ -41,6 +47,32 @@ func Quick() Params {
 	return Params{Requests: 3000, Warmup: 300, ClosedRequests: 1500, Trials: 200, Seed: 1}
 }
 
+// WithRequests rescales the parameter set to n open-arrival requests per
+// run, scaling Warmup, ClosedRequests and Trials by the same factor so
+// every regime shrinks or grows consistently. Non-positive n (or a
+// receiver with no Requests to scale from) returns p unchanged.
+func (p Params) WithRequests(n int) Params {
+	if n <= 0 || p.Requests <= 0 {
+		return p
+	}
+	scale := float64(n) / float64(p.Requests)
+	resize := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		s := int(float64(v)*scale + 0.5)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	p.Warmup = resize(p.Warmup)
+	p.ClosedRequests = resize(p.ClosedRequests)
+	p.Trials = resize(p.Trials)
+	p.Requests = n
+	return p
+}
+
 // Table is one printable result grid.
 type Table struct {
 	// ID is the artifact identifier ("fig6a", "table2", ...).
@@ -56,7 +88,8 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Fprint renders the table with aligned columns.
+// Fprint renders the table with aligned columns. Rows may carry more
+// cells than the header; extra columns get their own widths.
 func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "── %s: %s\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns))
@@ -65,7 +98,10 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len([]rune(c)) > widths[i] {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len([]rune(c)) > widths[i] {
 				widths[i] = len([]rune(c))
 			}
 		}
@@ -73,11 +109,7 @@ func (t *Table) Fprint(w io.Writer) {
 	line := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			w := 0
-			if i < len(widths) {
-				w = widths[i]
-			}
-			parts[i] = fmt.Sprintf("%-*s", w, c)
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
 		}
 		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
@@ -110,18 +142,29 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
-// Runner produces the tables for one experiment.
-type Runner func(Params) []Table
+// Plan is one experiment's declarative form: independent jobs plus the
+// assembly step that renders their results. Assemble must only be called
+// after every job has executed; it reads job slots in declaration order,
+// which is what makes parallel execution reproduce sequential output.
+type Plan struct {
+	// Jobs are the experiment's isolated simulation runs.
+	Jobs []*runner.Job
+	// Assemble renders the finished jobs into tables.
+	Assemble func() []Table
+}
 
-// registry maps experiment IDs to runners, populated by each artifact
+// Builder declares the plan for one experiment at the given sizes.
+type Builder func(Params) *Plan
+
+// registry maps experiment IDs to builders, populated by each artifact
 // file's init.
-var registry = map[string]Runner{}
+var registry = map[string]Builder{}
 
-func register(id string, r Runner) {
+func register(id string, b Builder) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate registration of " + id)
 	}
-	registry[id] = r
+	registry[id] = b
 }
 
 // IDs returns the registered experiment identifiers in a stable order.
@@ -134,24 +177,112 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given ID.
-func Run(id string, p Params) ([]Table, error) {
-	r, ok := registry[id]
+// PlanFor builds the declarative plan for one experiment without
+// executing it, so callers can batch several experiments' jobs onto one
+// pool.
+func PlanFor(id string, p Params) (*Plan, error) {
+	b, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	return r(p), nil
+	return b(p), nil
 }
 
-// RunAll executes every experiment in ID order.
+// Run executes the experiment with the given ID sequentially.
+func Run(id string, p Params) ([]Table, error) {
+	return RunWith(runner.Sequential(), id, p)
+}
+
+// RunWith executes one experiment's jobs on the given runner context.
+func RunWith(ctx *runner.Context, id string, p Params) ([]Table, error) {
+	pl, err := PlanFor(id, p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ctx.Run(pl.Jobs); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return pl.Assemble(), nil
+}
+
+// RunMany executes several experiments as one job batch — the pool sees
+// every job at once, so wide and narrow experiments interleave instead of
+// serializing per artifact. Results come back per requested ID, in order.
+func RunMany(ctx *runner.Context, ids []string, p Params) ([][]Table, runner.Summary, error) {
+	plans := make([]*Plan, len(ids))
+	var jobs []*runner.Job
+	for i, id := range ids {
+		pl, err := PlanFor(id, p)
+		if err != nil {
+			return nil, runner.Summary{}, err
+		}
+		plans[i] = pl
+		jobs = append(jobs, pl.Jobs...)
+	}
+	sum, err := ctx.Run(jobs)
+	if err != nil {
+		return nil, sum, err
+	}
+	out := make([][]Table, len(ids))
+	for i, pl := range plans {
+		out[i] = pl.Assemble()
+	}
+	return out, sum, nil
+}
+
+// RunAll executes every experiment in ID order. The IDs come from the
+// registry itself, so a failure here means a registered builder produced
+// a plan that cannot run — an inconsistency in this package, not a user
+// error — and RunAll makes it loud instead of silently dropping tables.
 func RunAll(p Params) []Table {
+	tss, _, err := RunMany(runner.Sequential(), IDs(), p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: registry inconsistency: %v", err))
+	}
 	var out []Table
-	for _, id := range IDs() {
-		ts, _ := Run(id, p)
+	for _, ts := range tss {
 		out = append(out, ts...)
 	}
 	return out
+}
+
+// mustRun executes a plan sequentially and assembles it — the spine of
+// the exported per-artifact functions (Fig5, Table1, ...), whose plans
+// are built from known-good registered builders.
+func mustRun(pl *Plan) []Table {
+	if _, err := runner.Sequential().Run(pl.Jobs); err != nil {
+		panic(err)
+	}
+	return pl.Assemble()
+}
+
+// mergePlans concatenates several plans into one: jobs in order, tables
+// in order.
+func mergePlans(plans ...*Plan) *Plan {
+	out := &Plan{}
+	for _, pl := range plans {
+		out.Jobs = append(out.Jobs, pl.Jobs...)
+	}
+	out.Assemble = func() []Table {
+		var ts []Table
+		for _, pl := range plans {
+			ts = append(ts, pl.Assemble()...)
+		}
+		return ts
+	}
+	return out
+}
+
+// tablesJob wraps a monolithic table computation — measurement loops
+// that share state across rows, or pure arithmetic — in a single-job
+// plan.
+func tablesJob(label string, seed int64, body func() []Table) *Plan {
+	j := &runner.Job{Label: label, Seed: seed, Custom: func(*runner.Job) any { return body() }}
+	return &Plan{
+		Jobs:     []*runner.Job{j},
+		Assemble: func() []Table { return j.Value().([]Table) },
+	}
 }
 
 // ms formats a millisecond value for table cells.

@@ -5,11 +5,12 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/layout"
+	"memsim/internal/runner"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
-func init() { register("fig11", Fig11) }
+func init() { register("fig11", fig11Plan) }
 
 // organPipeSmallFrac sizes the organ-pipe small core. The §5.3 workload's
 // small population is placed dead-center; 4% of capacity matches the
@@ -23,44 +24,76 @@ const organPipeSmallFrac = 0.04
 // on MEMS-no-settle the subregioned layout — the only one that optimizes
 // Y as well as X — wins by a further margin, showing that the optimal
 // disk layout is not optimal for MEMS-based storage.
-func Fig11(p Params) []Table {
-	t := Table{
-		ID:      "fig11",
-		Title:   "average service time by layout scheme (ms); improvement vs. simple",
-		Columns: []string{"device", "layout", "service(ms)", "vs. simple"},
+func Fig11(p Params) []Table { return mustRun(fig11Plan(p)) }
+
+func fig11Plan(p Params) *Plan {
+	// Placers are static LBN→position maps built against the shared
+	// derived geometry; each one is captured by exactly one job, which
+	// runs it against that job's own fresh device instance.
+	type group struct {
+		device  string
+		dev     core.DeviceFactory
+		placers []layout.Placer
+	}
+	g1 := newMEMS(1).Geometry()
+	g0 := newMEMS(0).Geometry()
+	dd := newDisk()
+	groups := []group{
+		{"MEMS", memsFactory(1), []layout.Placer{
+			layout.NewMEMSSimple(g1),
+			layout.NewMEMSOrganPipe(g1, organPipeSmallFrac),
+			layout.NewMEMSColumnar(g1, 25),
+			layout.NewMEMSSubregioned(g1, 5),
+		}},
+		{"MEMS-nosettle", memsFactory(0), []layout.Placer{
+			layout.NewMEMSSimple(g0),
+			layout.NewMEMSOrganPipe(g0, organPipeSmallFrac),
+			layout.NewMEMSColumnar(g0, 25),
+			layout.NewMEMSSubregioned(g0, 5),
+		}},
+		{"Atlas10K", diskFactory, []layout.Placer{
+			layout.NewDiskSimple(dd),
+			layout.NewDiskOrganPipe(dd, organPipeSmallFrac),
+		}},
 	}
 
-	run := func(d core.Device, device string, placers []layout.Placer) {
-		base := 0.0
-		for i, pl := range placers {
-			src := workload.NewBipartite(workload.DefaultBipartite(p.Seed), pl)
-			res := sim.RunClosed(d, src, sim.Options{MaxRequests: p.ClosedRequests})
-			mean := res.Service.Mean()
-			if i == 0 {
-				base = mean
+	jobsOf := make([][]*runner.Job, len(groups))
+	var jobs []*runner.Job
+	for gi, grp := range groups {
+		jobsOf[gi] = make([]*runner.Job, len(grp.placers))
+		for pi, pl := range grp.placers {
+			j := &runner.Job{
+				Label:  fmt.Sprintf("fig11 %s %s", grp.device, pl.Name()),
+				Seed:   p.Seed,
+				Device: grp.dev,
+				Source: func(core.Device) workload.Source {
+					return workload.NewBipartite(workload.DefaultBipartite(p.Seed), pl)
+				},
+				Options: sim.Options{MaxRequests: p.ClosedRequests},
 			}
-			t.AddRow(device, pl.Name(), ms(mean), fmt.Sprintf("%+.1f%%", (1-mean/base)*100))
+			jobsOf[gi][pi] = j
+			jobs = append(jobs, j)
 		}
 	}
-
-	m1 := newMEMS(1)
-	run(m1, "MEMS", []layout.Placer{
-		layout.NewMEMSSimple(m1.Geometry()),
-		layout.NewMEMSOrganPipe(m1.Geometry(), organPipeSmallFrac),
-		layout.NewMEMSColumnar(m1.Geometry(), 25),
-		layout.NewMEMSSubregioned(m1.Geometry(), 5),
-	})
-	m0 := newMEMS(0)
-	run(m0, "MEMS-nosettle", []layout.Placer{
-		layout.NewMEMSSimple(m0.Geometry()),
-		layout.NewMEMSOrganPipe(m0.Geometry(), organPipeSmallFrac),
-		layout.NewMEMSColumnar(m0.Geometry(), 25),
-		layout.NewMEMSSubregioned(m0.Geometry(), 5),
-	})
-	dd := newDisk()
-	run(dd, "Atlas10K", []layout.Placer{
-		layout.NewDiskSimple(dd),
-		layout.NewDiskOrganPipe(dd, organPipeSmallFrac),
-	})
-	return []Table{t}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "fig11",
+				Title:   "average service time by layout scheme (ms); improvement vs. simple",
+				Columns: []string{"device", "layout", "service(ms)", "vs. simple"},
+			}
+			for gi, grp := range groups {
+				base := 0.0
+				for pi, pl := range grp.placers {
+					mean := jobsOf[gi][pi].Result().Service.Mean()
+					if pi == 0 {
+						base = mean
+					}
+					t.AddRow(grp.device, pl.Name(), ms(mean), fmt.Sprintf("%+.1f%%", (1-mean/base)*100))
+				}
+			}
+			return []Table{t}
+		},
+	}
 }

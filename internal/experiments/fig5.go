@@ -1,6 +1,6 @@
 package experiments
 
-func init() { register("fig5", Fig5) }
+func init() { register("fig5", fig5Plan) }
 
 // diskRates sweeps the Atlas-10K-class disk from light load to beyond
 // FCFS saturation (mean service ≈ 8.4 ms ⇒ FCFS saturates near
@@ -10,8 +10,8 @@ var diskRates = []float64{20, 40, 60, 80, 100, 120, 140, 160, 180}
 // Fig5 reproduces Fig. 5: the four scheduling algorithms on the Atlas 10K
 // under the random workload — (a) average response time, (b) squared
 // coefficient of variation.
-func Fig5(p Params) []Table {
-	d := newDisk()
-	resp, cv := schedulerSweep(d, diskRates, p)
-	return sweepTables("fig5", "Atlas 10K", diskRates, resp, cv)
+func Fig5(p Params) []Table { return mustRun(fig5Plan(p)) }
+
+func fig5Plan(p Params) *Plan {
+	return sweepPlan("fig5", "Atlas 10K", diskFactory, diskRates, p)
 }

@@ -1,6 +1,6 @@
 package experiments
 
-func init() { register("fig6", Fig6) }
+func init() { register("fig6", fig6Plan) }
 
 // memsRates sweeps the MEMS device. Mean random 4 KB service is
 // ≈ 0.8 ms, so FCFS saturates near 1250 req/s while the seek-aware
@@ -9,8 +9,8 @@ var memsRates = []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 250
 
 // Fig6 reproduces Fig. 6: the scheduling algorithms on the MEMS-based
 // storage device under the random workload.
-func Fig6(p Params) []Table {
-	d := newMEMS(1)
-	resp, cv := schedulerSweep(d, memsRates, p)
-	return sweepTables("fig6", "MEMS device", memsRates, resp, cv)
+func Fig6(p Params) []Table { return mustRun(fig6Plan(p)) }
+
+func fig6Plan(p Params) *Plan {
+	return sweepPlan("fig6", "MEMS device", memsFactory(1), memsRates, p)
 }

@@ -1,63 +1,97 @@
 package experiments
 
 import (
+	"fmt"
+
 	"memsim/internal/core"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
 	"memsim/internal/workload"
 )
 
-func init() { register("fig7", Fig7) }
+func init() { register("fig7", fig7Plan) }
 
 // Fig7 reproduces Fig. 7: scheduler comparison on the MEMS device under
 // the two realistic workloads, swept by the trace scale factor (traced
 // interarrival times divided by the factor, §4.3 footnote 2). The traces
 // are the synthetic Cello-like and TPC-C-like stand-ins documented in
 // DESIGN.md §5.
-func Fig7(p Params) []Table {
-	d := newMEMS(1)
-	cello := trace.GenerateCello(trace.DefaultCello(d.Capacity(), p.Requests))
-	tpcc := trace.GenerateTPCC(trace.DefaultTPCC(d.Capacity(), p.Requests))
+func Fig7(p Params) []Table { return mustRun(fig7Plan(p)) }
+
+func fig7Plan(p Params) *Plan {
 	// Base rates: Cello ≈ 40 req/s, TPC-C ≈ 120 req/s; the MEMS device
 	// saturates near 1300 random req/s, so the interesting scale regions
 	// differ per trace.
-	out := traceSweep(d, "fig7a", "Cello trace", cello, []float64{4, 8, 12, 16, 20, 24, 28}, p)
-	out = append(out, traceSweep(d, "fig7b", "TPC-C trace", tpcc, []float64{2, 4, 6, 8, 10, 12}, p)...)
-	return out
+	genCello := func(capacity int64, n int) *trace.Trace {
+		return trace.GenerateCello(trace.DefaultCello(capacity, n))
+	}
+	genTPCC := func(capacity int64, n int) *trace.Trace {
+		return trace.GenerateTPCC(trace.DefaultTPCC(capacity, n))
+	}
+	return mergePlans(
+		traceSweepPlan("fig7a", "Cello trace", genCello, []float64{4, 8, 12, 16, 20, 24, 28}, p),
+		traceSweepPlan("fig7b", "TPC-C trace", genTPCC, []float64{2, 4, 6, 8, 10, 12}, p),
+	)
 }
 
-// traceSweep replays tr at each scale factor under every scheduler.
-func traceSweep(d core.Device, id, title string, tr *trace.Trace, scales []float64, p Params) []Table {
-	t := Table{
-		ID:      id,
-		Title:   "average response time vs. trace scale factor, " + title + " on MEMS (ms)",
-		Columns: append([]string{"scale"}, sched.Names()...),
-	}
-	cvt := Table{
-		ID:      id + "-cv2",
-		Title:   "squared coefficient of variation, " + title + " on MEMS",
-		Columns: append([]string{"scale"}, sched.Names()...),
-	}
-	for _, scale := range scales {
-		scaled := tr.Scale(scale)
-		row := []string{f2(scale)}
-		cvRow := []string{f2(scale)}
-		for _, name := range sched.Names() {
-			s, err := sched.New(name)
-			if err != nil {
-				panic(err)
+// traceSweepPlan declares the trace replay at each scale factor under
+// every scheduler — one job per (scale, scheduler) cell. Trace generation
+// is deterministic, so each job regenerates and scales its own copy
+// rather than sharing request structs across concurrent runs.
+func traceSweepPlan(id, title string, gen func(capacity int64, n int) *trace.Trace,
+	scales []float64, p Params) *Plan {
+	names := sched.Names()
+	grid := make([][]*runner.Job, len(scales))
+	var jobs []*runner.Job
+	for xi, scale := range scales {
+		grid[xi] = make([]*runner.Job, len(names))
+		for si, name := range names {
+			j := &runner.Job{
+				Label:     fmt.Sprintf("%s %s scale=%g", id, name, scale),
+				Seed:      p.Seed,
+				Device:    memsFactory(1),
+				Scheduler: schedFactory(name),
+				Source: func(d core.Device) workload.Source {
+					scaled := gen(d.Capacity(), p.Requests).Scale(scale)
+					reqs := make([]*core.Request, scaled.Len())
+					for i, rec := range scaled.Records {
+						reqs[i] = rec.Request()
+					}
+					return workload.NewFromSlice(reqs)
+				},
+				Options: sim.Options{Warmup: p.Warmup},
 			}
-			reqs := make([]*core.Request, scaled.Len())
-			for i, rec := range scaled.Records {
-				reqs[i] = rec.Request()
-			}
-			res := sim.Run(d, s, workload.NewFromSlice(reqs), sim.Options{Warmup: p.Warmup})
-			row = append(row, ms(res.Response.Mean()))
-			cvRow = append(cvRow, f2(res.Response.SquaredCV()))
+			grid[xi][si] = j
+			jobs = append(jobs, j)
 		}
-		t.AddRow(row...)
-		cvt.AddRow(cvRow...)
 	}
-	return []Table{t, cvt}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      id,
+				Title:   "average response time vs. trace scale factor, " + title + " on MEMS (ms)",
+				Columns: append([]string{"scale"}, names...),
+			}
+			cvt := Table{
+				ID:      id + "-cv2",
+				Title:   "squared coefficient of variation, " + title + " on MEMS",
+				Columns: append([]string{"scale"}, names...),
+			}
+			for xi, scale := range scales {
+				row := []string{f2(scale)}
+				cvRow := []string{f2(scale)}
+				for si := range names {
+					res := grid[xi][si].Result()
+					row = append(row, ms(res.Response.Mean()))
+					cvRow = append(cvRow, f2(res.Response.SquaredCV()))
+				}
+				t.AddRow(row...)
+				cvt.AddRow(cvRow...)
+			}
+			return []Table{t, cvt}
+		},
+	}
 }

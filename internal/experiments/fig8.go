@@ -2,21 +2,21 @@ package experiments
 
 import "fmt"
 
-func init() { register("fig8", Fig8) }
+func init() { register("fig8", fig8Plan) }
 
 // Fig8 reproduces Fig. 8: the settling-time sensitivity study. The random
 // workload is re-run on the MEMS device with zero and with two settling
 // time constants (the default elsewhere is one). With two constants, X
 // seeks dominate and SSTF_LBN closely approximates SPTF; with zero, the Y
 // dimension matters and SPTF pulls away (§4.4).
-func Fig8(p Params) []Table {
-	var out []Table
+func Fig8(p Params) []Table { return mustRun(fig8Plan(p)) }
+
+func fig8Plan(p Params) *Plan {
+	var plans []*Plan
 	for _, k := range []float64{0, 2} {
-		d := newMEMS(k)
-		resp, cv := schedulerSweep(d, memsRates, p)
 		prefix := fmt.Sprintf("fig8-settle%g", k)
-		ts := sweepTables(prefix, fmt.Sprintf("MEMS device, %g settling time constants", k), memsRates, resp, cv)
-		out = append(out, ts...)
+		device := fmt.Sprintf("MEMS device, %g settling time constants", k)
+		plans = append(plans, sweepPlan(prefix, device, memsFactory(k), memsRates, p))
 	}
-	return out
+	return mergePlans(plans...)
 }

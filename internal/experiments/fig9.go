@@ -6,11 +6,11 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/mems"
-	"memsim/internal/sim"
+	"memsim/internal/runner"
 	"memsim/internal/workload"
 )
 
-func init() { register("fig9", Fig9) }
+func init() { register("fig9", fig9Plan) }
 
 // subregionRequests builds closed-loop 4 KB reads whose start and end lie
 // inside subregion (xBand, yBand) of an n×n grid over the sled.
@@ -38,36 +38,54 @@ func subregionRequests(g *mems.Geometry, n, xBand, yBand, count int, seed int64)
 // once with zero settle (the two numbers per box in the paper's figure).
 // The spring restoring forces make the outer subregions 10–20% slower
 // than the center (§5.1).
-func Fig9(p Params) []Table {
+func Fig9(p Params) []Table { return mustRun(fig9Plan(p)) }
+
+func fig9Plan(p Params) *Plan {
 	const n = 5
-	withSettle := newMEMS(1)
-	noSettle := newMEMS(0)
-	g := withSettle.Geometry()
+	settles := []float64{1, 0}
+	// The geometry is pure derived data, shared read-only across jobs;
+	// each job builds its own device and request slice.
+	g := newMEMS(1).Geometry()
 
-	t := Table{
-		ID:      "fig9",
-		Title:   "average 4 KB service time per subregion, settle=1 / settle=0 (ms)",
-		Columns: []string{"y-band \\ x-band", "x0 (edge)", "x1", "x2 (center)", "x3", "x4 (edge)"},
-	}
+	grid := make([][][]*runner.Job, n) // [y][x][settle variant]
+	var jobs []*runner.Job
 	for y := 0; y < n; y++ {
-		row := []string{fmt.Sprintf("y%d", y)}
+		grid[y] = make([][]*runner.Job, n)
 		for x := 0; x < n; x++ {
-			reqs := subregionRequests(g, n, x, y, p.ClosedRequests, p.Seed+int64(y*n+x))
-			a := sim.RunClosed(withSettle, workload.NewFromSlice(cloneReqs(reqs)), sim.Options{})
-			b := sim.RunClosed(noSettle, workload.NewFromSlice(cloneReqs(reqs)), sim.Options{})
-			row = append(row, fmt.Sprintf("%.3f/%.3f", a.Service.Mean(), b.Service.Mean()))
+			grid[y][x] = make([]*runner.Job, len(settles))
+			seed := p.Seed + int64(y*n+x)
+			for vi, settle := range settles {
+				j := &runner.Job{
+					Label:  fmt.Sprintf("fig9 x%d y%d settle=%g", x, y, settle),
+					Seed:   seed,
+					Device: memsFactory(settle),
+					Source: func(core.Device) workload.Source {
+						return workload.NewFromSlice(subregionRequests(g, n, x, y, p.ClosedRequests, seed))
+					},
+				}
+				grid[y][x][vi] = j
+				jobs = append(jobs, j)
+			}
 		}
-		t.AddRow(row...)
 	}
-	return []Table{t}
-}
-
-// cloneReqs deep-copies requests so two runs don't share bookkeeping.
-func cloneReqs(reqs []*core.Request) []*core.Request {
-	out := make([]*core.Request, len(reqs))
-	for i, r := range reqs {
-		c := *r
-		out[i] = &c
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "fig9",
+				Title:   "average 4 KB service time per subregion, settle=1 / settle=0 (ms)",
+				Columns: []string{"y-band \\ x-band", "x0 (edge)", "x1", "x2 (center)", "x3", "x4 (edge)"},
+			}
+			for y := 0; y < n; y++ {
+				row := []string{fmt.Sprintf("y%d", y)}
+				for x := 0; x < n; x++ {
+					a := grid[y][x][0].Result()
+					b := grid[y][x][1].Result()
+					row = append(row, fmt.Sprintf("%.3f/%.3f", a.Service.Mean(), b.Service.Mean()))
+				}
+				t.AddRow(row...)
+			}
+			return []Table{t}
+		},
 	}
-	return out
 }

@@ -2,12 +2,13 @@ package experiments
 
 import (
 	"memsim/internal/core"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
-func init() { register("aging", Aging) }
+func init() { register("aging", agingPlan) }
 
 // Aging is the ablation suggested by our Fig. 6 reproduction (extension):
 // pure SPTF's greediness makes its σ²/µ² explode near the saturation
@@ -15,26 +16,46 @@ func init() { register("aging", Aging) }
 // 1500 and 2000 requests/sec". Aged SPTF discounts each request's
 // positioning estimate by Weight · wait-time; a small weight restores
 // bounded tails at modest mean-response cost.
-func Aging(p Params) []Table {
-	d := newMEMS(1)
-	t := Table{
-		ID:      "aging",
-		Title:   "SPTF aging at the saturation knee (MEMS, random workload, 1600 req/s)",
-		Columns: []string{"scheduler", "mean response(ms)", "cv²", "max response(ms)"},
+func Aging(p Params) []Table { return mustRun(agingPlan(p)) }
+
+func agingPlan(p Params) *Plan {
+	mks := []core.SchedulerFactory{
+		func() core.Scheduler { return sched.NewSPTF() },
+		func() core.Scheduler { return sched.NewASPTF(0.01) },
+		func() core.Scheduler { return sched.NewASPTF(0.05) },
+		func() core.Scheduler { return sched.NewASPTF(0.2) },
+		func() core.Scheduler { return sched.NewSSTF() },
+		func() core.Scheduler { return sched.NewCLOOK() },
 	}
-	scheds := []core.Scheduler{
-		sched.NewSPTF(),
-		sched.NewASPTF(0.01),
-		sched.NewASPTF(0.05),
-		sched.NewASPTF(0.2),
-		sched.NewSSTF(),
-		sched.NewCLOOK(),
+	names := make([]string, len(mks))
+	jobs := make([]*runner.Job, len(mks))
+	for i, mk := range mks {
+		names[i] = mk().Name()
+		jobs[i] = &runner.Job{
+			Label:     "aging " + names[i],
+			Seed:      p.Seed,
+			Device:    memsFactory(1),
+			Scheduler: mk,
+			Source: func(d core.Device) workload.Source {
+				return workload.DefaultRandom(1600, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
+			},
+			Options: sim.Options{Warmup: p.Warmup},
+		}
 	}
-	for _, s := range scheds {
-		src := workload.DefaultRandom(1600, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
-		res := sim.Run(d, s, src, sim.Options{Warmup: p.Warmup})
-		t.AddRow(s.Name(), ms(res.Response.Mean()), f2(res.Response.SquaredCV()),
-			ms(res.Response.Max()))
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "aging",
+				Title:   "SPTF aging at the saturation knee (MEMS, random workload, 1600 req/s)",
+				Columns: []string{"scheduler", "mean response(ms)", "cv²", "max response(ms)"},
+			}
+			for i, j := range jobs {
+				res := j.Result()
+				t.AddRow(names[i], ms(res.Response.Mean()), f2(res.Response.SquaredCV()),
+					ms(res.Response.Max()))
+			}
+			return []Table{t}
+		},
 	}
-	return []Table{t}
 }

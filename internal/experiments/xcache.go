@@ -5,9 +5,10 @@ import (
 
 	"memsim/internal/cache"
 	"memsim/internal/core"
+	"memsim/internal/runner"
 )
 
-func init() { register("cache", CacheStudy) }
+func init() { register("cache", cachePlan) }
 
 // CacheStudy quantifies §2.4.11 (extension; no paper figure): the
 // on-device speed-matching buffer matters for sequential streams
@@ -15,53 +16,79 @@ func init() { register("cache", CacheStudy) }
 // nearly worthless for random traffic, whose reuse belongs in host
 // memory. Sequential 64 KB scans and random 4 KB reads run with the
 // buffer enabled and disabled.
-func CacheStudy(p Params) []Table {
-	t := Table{
-		ID:      "cache",
-		Title:   "speed-matching buffer (4 MB, track read-ahead) on the MEMS device",
-		Columns: []string{"workload", "buffer", "mean service(ms)", "hit rate", "MB/s"},
-	}
+func CacheStudy(p Params) []Table { return mustRun(cachePlan(p)) }
+
+func cachePlan(p Params) *Plan {
 	n := p.ClosedRequests
 	if n > 2000 {
 		n = 2000
 	}
 
+	type variant struct {
+		label  string
+		blocks int
+		seq    bool
+		mode   string
+	}
+	var variants []variant
 	for _, seq := range []bool{true, false} {
-		label := "sequential 64 KB scan"
-		blocks := 128
+		label, blocks := "sequential 64 KB scan", 128
 		if !seq {
-			label = "random 4 KB reads"
-			blocks = 8
+			label, blocks = "random 4 KB reads", 8
 		}
 		for _, mode := range []string{"off", "fixed", "adaptive"} {
-			dev := newMEMS(1)
-			var d core.Device = dev
-			var c *cache.Cache
-			if mode != "off" {
-				cfg := cache.DefaultConfig()
-				cfg.AdaptivePrefetch = mode == "adaptive"
-				c = cache.New(dev, cfg)
-				d = c
-			}
-			rng := rand.New(rand.NewSource(p.Seed))
-			now, sum := 0.0, 0.0
-			for i := 0; i < n; i++ {
-				lbn := int64(i * blocks)
-				if !seq {
-					lbn = rng.Int63n(d.Capacity() - int64(blocks))
-				}
-				svc := d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: blocks}, now)
-				now += svc
-				sum += svc
-			}
-			mean := sum / float64(n)
-			bw := float64(blocks) * 512 / (mean / 1000) / 1e6
-			hit := "—"
-			if c != nil {
-				hit = f2(c.HitRate())
-			}
-			t.AddRow(label, mode, ms(mean), hit, f2(bw))
+			variants = append(variants, variant{label, blocks, seq, mode})
 		}
 	}
-	return []Table{t}
+
+	jobs := make([]*runner.Job, len(variants))
+	for i, v := range variants {
+		jobs[i] = &runner.Job{
+			Label: "cache " + v.label + " " + v.mode,
+			Seed:  p.Seed,
+			Custom: func(*runner.Job) any {
+				dev := newMEMS(1)
+				var d core.Device = dev
+				var c *cache.Cache
+				if v.mode != "off" {
+					cfg := cache.DefaultConfig()
+					cfg.AdaptivePrefetch = v.mode == "adaptive"
+					c = cache.New(dev, cfg)
+					d = c
+				}
+				rng := rand.New(rand.NewSource(p.Seed))
+				now, sum := 0.0, 0.0
+				for i := 0; i < n; i++ {
+					lbn := int64(i * v.blocks)
+					if !v.seq {
+						lbn = rng.Int63n(d.Capacity() - int64(v.blocks))
+					}
+					svc := d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: v.blocks}, now)
+					now += svc
+					sum += svc
+				}
+				mean := sum / float64(n)
+				bw := float64(v.blocks) * 512 / (mean / 1000) / 1e6
+				hit := "—"
+				if c != nil {
+					hit = f2(c.HitRate())
+				}
+				return []string{v.label, v.mode, ms(mean), hit, f2(bw)}
+			},
+		}
+	}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "cache",
+				Title:   "speed-matching buffer (4 MB, track read-ahead) on the MEMS device",
+				Columns: []string{"workload", "buffer", "mean service(ms)", "hit rate", "MB/s"},
+			}
+			for _, j := range jobs {
+				t.AddRow(j.Value().([]string)...)
+			}
+			return []Table{t}
+		},
+	}
 }

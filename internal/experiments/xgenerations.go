@@ -6,22 +6,19 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/mems"
+	"memsim/internal/runner"
 )
 
-func init() { register("generations", Generations) }
+func init() { register("generations", generationsPlan) }
 
 // Generations is a sensitivity study of the device model across
 // successive MEMS generations (extension; the configurations are
 // extrapolations documented in internal/mems/generations.go, not
 // published parameter sets). It reports how density, per-tip rate and
 // actuator improvements move the headline figures of merit.
-func Generations(p Params) []Table {
-	t := Table{
-		ID:    "generations",
-		Title: "device generations (G2/G3 are extrapolations; see generations.go)",
-		Columns: []string{"generation", "capacity(GB)", "stream(MB/s)",
-			"avg 4 KB access(ms)", "full-stroke seek(ms)"},
-	}
+func Generations(p Params) []Table { return mustRun(generationsPlan(p)) }
+
+func generationsPlan(p Params) *Plan {
 	trials := p.Trials
 	if trials > 2000 {
 		trials = 2000
@@ -34,23 +31,44 @@ func Generations(p Params) []Table {
 		{"G2", mems.ConfigGen2()},
 		{"G3", mems.ConfigGen3()},
 	}
-	for _, gen := range gens {
-		d, err := mems.NewDevice(gen.cfg)
-		if err != nil {
-			panic(err) // generation configs are maintained with the model
+	jobs := make([]*runner.Job, len(gens))
+	for i, gen := range gens {
+		jobs[i] = &runner.Job{
+			Label: "generations " + gen.name,
+			Seed:  p.Seed,
+			Custom: func(*runner.Job) any {
+				d, err := mems.NewDevice(gen.cfg)
+				if err != nil {
+					panic(err) // generation configs are maintained with the model
+				}
+				g := d.Geometry()
+				rng := rand.New(rand.NewSource(p.Seed))
+				sum := 0.0
+				for i := 0; i < trials; i++ {
+					lbn := rng.Int63n(g.TotalSectors - 8)
+					sum += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 8}, 0)
+				}
+				return []string{gen.name,
+					fmt.Sprintf("%.2f", float64(g.CapacityBytes())/1e9),
+					fmt.Sprintf("%.1f", g.StreamBandwidth()/1e6),
+					ms(sum / float64(trials)),
+					ms(d.SeekX(0, g.Cylinders-1))}
+			},
 		}
-		g := d.Geometry()
-		rng := rand.New(rand.NewSource(p.Seed))
-		sum := 0.0
-		for i := 0; i < trials; i++ {
-			lbn := rng.Int63n(g.TotalSectors - 8)
-			sum += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 8}, 0)
-		}
-		t.AddRow(gen.name,
-			fmt.Sprintf("%.2f", float64(g.CapacityBytes())/1e9),
-			fmt.Sprintf("%.1f", g.StreamBandwidth()/1e6),
-			ms(sum/float64(trials)),
-			ms(d.SeekX(0, g.Cylinders-1)))
 	}
-	return []Table{t}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:    "generations",
+				Title: "device generations (G2/G3 are extrapolations; see generations.go)",
+				Columns: []string{"generation", "capacity(GB)", "stream(MB/s)",
+					"avg 4 KB access(ms)", "full-stroke seek(ms)"},
+			}
+			for _, j := range jobs {
+				t.AddRow(j.Value().([]string)...)
+			}
+			return []Table{t}
+		},
+	}
 }

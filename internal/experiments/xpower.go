@@ -6,13 +6,14 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/power"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
 	"memsim/internal/workload"
 )
 
-func init() { register("power", Power) }
+func init() { register("power", powerPlan) }
 
 // Power quantifies §7 (an extension: the paper argues it without a
 // figure). A bursty Cello-like workload runs over power-managed devices:
@@ -26,14 +27,9 @@ func init() { register("power", Power) }
 //     timeouts expensive in response time;
 //   - a server-class disk (25 s spin-up, §6.3) for which standby is
 //     effectively unusable.
-func Power(p Params) []Table {
-	t := Table{
-		ID:    "power",
-		Title: "energy and latency under idle-timeout policies (Cello-like workload)",
-		Columns: []string{"device", "policy", "energy(J)", "mean power(W)",
-			"restarts", "mean penalty(ms)", "mean response(ms)"},
-	}
+func Power(p Params) []Table { return mustRun(powerPlan(p)) }
 
+func powerPlan(p Params) *Plan {
 	type variant struct {
 		device  string
 		model   power.Model
@@ -52,30 +48,51 @@ func Power(p Params) []Table {
 		{"server disk", power.ServerDiskModel(), power.Policy{TimeoutMs: inf}, "always on"},
 	}
 
-	for _, v := range variants {
-		var inner core.Device
-		if v.device == "MEMS" {
-			inner = newMEMS(1)
-		} else {
-			inner = newDisk()
+	jobs := make([]*runner.Job, len(variants))
+	for i, v := range variants {
+		jobs[i] = &runner.Job{
+			Label: fmt.Sprintf("power %s %s", v.device, v.polName),
+			Seed:  p.Seed,
+			Custom: func(*runner.Job) any {
+				var inner core.Device
+				if v.device == "MEMS" {
+					inner = newMEMS(1)
+				} else {
+					inner = newDisk()
+				}
+				tr := trace.GenerateCello(trace.DefaultCello(inner.Capacity(), p.Requests))
+				reqs := make([]*core.Request, tr.Len())
+				for i, rec := range tr.Records {
+					reqs[i] = rec.Request()
+				}
+				m := power.NewManaged(inner, v.model, v.policy)
+				res := sim.Run(nil, m, sched.NewFCFS(), workload.NewFromSlice(reqs), sim.Options{})
+				m.FinishAt(res.Elapsed)
+				rep := m.Report()
+				return []string{v.device, v.polName,
+					fmt.Sprintf("%.1f", rep.TotalJ()),
+					fmt.Sprintf("%.3f", rep.MeanPowerW()),
+					fmt.Sprintf("%d", rep.Restarts),
+					ms(rep.MeanPenaltyMs()),
+					ms(res.Response.Mean())}
+			},
 		}
-		tr := trace.GenerateCello(trace.DefaultCello(inner.Capacity(), p.Requests))
-		reqs := make([]*core.Request, tr.Len())
-		for i, rec := range tr.Records {
-			reqs[i] = rec.Request()
-		}
-		m := power.NewManaged(inner, v.model, v.policy)
-		res := sim.Run(m, sched.NewFCFS(), workload.NewFromSlice(reqs), sim.Options{})
-		m.FinishAt(res.Elapsed)
-		rep := m.Report()
-		t.AddRow(v.device, v.polName,
-			fmt.Sprintf("%.1f", rep.TotalJ()),
-			fmt.Sprintf("%.3f", rep.MeanPowerW()),
-			fmt.Sprintf("%d", rep.Restarts),
-			ms(rep.MeanPenaltyMs()),
-			ms(res.Response.Mean()))
 	}
-	return []Table{t, compressionTable()}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:    "power",
+				Title: "energy and latency under idle-timeout policies (Cello-like workload)",
+				Columns: []string{"device", "policy", "energy(J)", "mean power(W)",
+					"restarts", "mean penalty(ms)", "mean response(ms)"},
+			}
+			for _, j := range jobs {
+				t.AddRow(j.Value().([]string)...)
+			}
+			return []Table{t, compressionTable()}
+		},
+	}
 }
 
 // compressionTable evaluates §7's closing proposal: with power a linear

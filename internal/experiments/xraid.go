@@ -8,9 +8,10 @@ import (
 	"memsim/internal/core"
 	"memsim/internal/disk"
 	"memsim/internal/mems"
+	"memsim/internal/runner"
 )
 
-func init() { register("raid", RAID) }
+func init() { register("raid", raidPlan) }
 
 // RAID quantifies the §6.2 claim at array level (extension; no paper
 // figure): MEMS-based storage's near-zero read-modify-write
@@ -18,40 +19,80 @@ func init() { register("raid", RAID) }
 // hide RAID-5's small-write penalty on disks. Four-member RAID-5 arrays
 // of each device type service 4 KB writes, degraded reads, and a full
 // member rebuild.
-func RAID(p Params) []Table {
+func RAID(p Params) []Table { return mustRun(raidPlan(p)) }
+
+func raidPlan(p Params) *Plan {
 	trials := p.Trials / 4
 	if trials < 50 {
 		trials = 50
 	}
-	t := Table{
-		ID:      "raid",
-		Title:   "4-member RAID-5: small-write and degraded-mode costs",
-		Columns: []string{"metric", "MEMS array", "Atlas 10K array", "disk/MEMS"},
-	}
-
 	memsArr := func() *array.Array { return mustArray(memsMembers(4)) }
 	diskArr := func() *array.Array { return mustArray(diskMembers(4)) }
 
-	mw := raidSmallWrite(memsArr(), trials, p.Seed)
-	dw := raidSmallWrite(diskArr(), trials, p.Seed)
-	t.AddRow("4 KB RAID-5 write (read-modify-write)", ms(mw), ms(dw), f2(dw/mw)+"×")
+	// One job per (metric, device) measurement — every job builds its own
+	// array, so all eight run independently.
+	type metric struct {
+		name    string
+		measure func(mk func() *array.Array) float64
+	}
+	metrics := []metric{
+		{"4 KB RAID-5 write (read-modify-write)", func(mk func() *array.Array) float64 {
+			return raidSmallWrite(mk(), trials, p.Seed)
+		}},
+		{"4 KB read, healthy", func(mk func() *array.Array) float64 {
+			return raidRandomRead(mk(), trials, p.Seed, false)
+		}},
+		{"4 KB read, degraded (reconstruct)", func(mk func() *array.Array) float64 {
+			return raidRandomRead(mk(), trials, p.Seed, true)
+		}},
+		{"member rebuild (full scan)", func(mk func() *array.Array) float64 {
+			a := mk()
+			a.FailMember(1)
+			return a.RebuildTime(2700) / 1000 // seconds
+		}},
+	}
+	devices := []struct {
+		name string
+		mk   func() *array.Array
+	}{{"MEMS", memsArr}, {"disk", diskArr}}
 
-	mr := raidRandomRead(memsArr(), trials, p.Seed, false)
-	dr := raidRandomRead(diskArr(), trials, p.Seed, false)
-	t.AddRow("4 KB read, healthy", ms(mr), ms(dr), f2(dr/mr)+"×")
-
-	mrd := raidRandomRead(memsArr(), trials, p.Seed, true)
-	drd := raidRandomRead(diskArr(), trials, p.Seed, true)
-	t.AddRow("4 KB read, degraded (reconstruct)", ms(mrd), ms(drd), f2(drd/mrd)+"×")
-
-	ma, da := memsArr(), diskArr()
-	ma.FailMember(1)
-	da.FailMember(1)
-	mrb := ma.RebuildTime(2700) / 1000 // seconds
-	drb := da.RebuildTime(2700) / 1000
-	t.AddRow("member rebuild (full scan)", fmt.Sprintf("%.1f s", mrb),
-		fmt.Sprintf("%.1f s", drb), f2(drb/mrb)+"×")
-	return []Table{t}
+	grid := make([][]*runner.Job, len(metrics))
+	var jobs []*runner.Job
+	for mi, m := range metrics {
+		grid[mi] = make([]*runner.Job, len(devices))
+		for di, dev := range devices {
+			j := &runner.Job{
+				Label: fmt.Sprintf("raid %s %s", dev.name, m.name),
+				Seed:  p.Seed,
+				Custom: func(*runner.Job) any {
+					return m.measure(dev.mk)
+				},
+			}
+			grid[mi][di] = j
+			jobs = append(jobs, j)
+		}
+	}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "raid",
+				Title:   "4-member RAID-5: small-write and degraded-mode costs",
+				Columns: []string{"metric", "MEMS array", "Atlas 10K array", "disk/MEMS"},
+			}
+			for mi, m := range metrics {
+				mv := grid[mi][0].Value().(float64)
+				dv := grid[mi][1].Value().(float64)
+				if m.name == "member rebuild (full scan)" {
+					t.AddRow(m.name, fmt.Sprintf("%.1f s", mv), fmt.Sprintf("%.1f s", dv),
+						f2(dv/mv)+"×")
+				} else {
+					t.AddRow(m.name, ms(mv), ms(dv), f2(dv/mv)+"×")
+				}
+			}
+			return []Table{t}
+		},
+	}
 }
 
 func memsMembers(n int) ([]core.Device, array.Config) {

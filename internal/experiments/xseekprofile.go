@@ -1,6 +1,6 @@
 package experiments
 
-func init() { register("seekprofile", SeekProfile) }
+func init() { register("seekprofile", seekProfilePlan) }
 
 // SeekProfile (extension) tabulates the device's seek-time curves — the
 // mechanical facts from which Figs. 9 and 10 and the §4.4 settling
@@ -11,7 +11,14 @@ func init() { register("seekprofile", SeekProfile) }
 // position is the whole story), the Y seek for the same physical
 // distance (which must end at access velocity), and the disk's seek
 // curve for contrast.
-func SeekProfile(Params) []Table {
+func SeekProfile(p Params) []Table { return mustRun(seekProfilePlan(p)) }
+
+// Pure seek-curve evaluation on private devices — one cheap job.
+func seekProfilePlan(p Params) *Plan {
+	return tablesJob("seekprofile", p.Seed, seekProfileBody)
+}
+
+func seekProfileBody() []Table {
 	d := newMEMS(1)
 	g := d.Geometry()
 	x := Table{

@@ -6,9 +6,10 @@ import (
 
 	"memsim/internal/core"
 	"memsim/internal/layout"
+	"memsim/internal/runner"
 )
 
-func init() { register("shuffle", ShuffleStudy) }
+func init() { register("shuffle", shufflePlan) }
 
 // ShuffleStudy quantifies the organ-pipe maintenance cost that §5.3
 // charges against it (extension): the layout "requires some state to be
@@ -21,23 +22,57 @@ func init() { register("shuffle", ShuffleStudy) }
 // streaming bandwidth — and the drift rate at which bookkeeping erases
 // the benefit, which is why the paper prefers the static bipartite
 // layouts.
-func ShuffleStudy(p Params) []Table {
-	t := Table{
-		ID:    "shuffle",
-		Title: "adaptive organ pipe under two drifting hotspots (8-sector requests)",
-		Columns: []string{"hotspots move", "layout", "service(ms)",
-			"migration(ms/req)", "effective(ms)"},
-	}
+func ShuffleStudy(p Params) []Table { return mustRun(shufflePlan(p)) }
+
+// adaptiveCell carries the adaptive layout's two cost components.
+type adaptiveCell struct {
+	svc, mig float64
+}
+
+func shufflePlan(p Params) *Plan {
 	n := p.ClosedRequests
-	for _, frac := range []int{1, 4, 16} { // drift 1×, 4×, 16× per run
+	fracs := []int{1, 4, 16} // drift 1×, 4×, 16× per run
+	staticJobs := make([]*runner.Job, len(fracs))
+	adaptiveJobs := make([]*runner.Job, len(fracs))
+	var jobs []*runner.Job
+	for i, frac := range fracs {
 		drift := n / frac
-		label := fmt.Sprintf("%d×/run", frac)
-		svc := shuffleStatic(p, n, drift)
-		t.AddRow(label, "simple (static)", ms(svc), ms(0), ms(svc))
-		svcA, mig := shuffleAdaptive(p, n, drift)
-		t.AddRow(label, "adaptive organ pipe", ms(svcA), ms(mig), ms(svcA+mig))
+		staticJobs[i] = &runner.Job{
+			Label: fmt.Sprintf("shuffle static drift=%d×", frac),
+			Seed:  p.Seed,
+			Custom: func(*runner.Job) any {
+				return shuffleStatic(p, n, drift)
+			},
+		}
+		adaptiveJobs[i] = &runner.Job{
+			Label: fmt.Sprintf("shuffle adaptive drift=%d×", frac),
+			Seed:  p.Seed,
+			Custom: func(*runner.Job) any {
+				svc, mig := shuffleAdaptive(p, n, drift)
+				return adaptiveCell{svc, mig}
+			},
+		}
+		jobs = append(jobs, staticJobs[i], adaptiveJobs[i])
 	}
-	return []Table{t}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:    "shuffle",
+				Title: "adaptive organ pipe under two drifting hotspots (8-sector requests)",
+				Columns: []string{"hotspots move", "layout", "service(ms)",
+					"migration(ms/req)", "effective(ms)"},
+			}
+			for i, frac := range fracs {
+				label := fmt.Sprintf("%d×/run", frac)
+				svc := staticJobs[i].Value().(float64)
+				t.AddRow(label, "simple (static)", ms(svc), ms(0), ms(svc))
+				a := adaptiveJobs[i].Value().(adaptiveCell)
+				t.AddRow(label, "adaptive organ pipe", ms(a.svc), ms(a.mig), ms(a.svc+a.mig))
+			}
+			return []Table{t}
+		},
+	}
 }
 
 // shuffleWorkload drives 8-sector reads: 90% split between two hot

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"fmt"
+
 	"memsim/internal/core"
 	"memsim/internal/mems"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
-func init() { register("striping", StripingStudy) }
+func init() { register("striping", stripingPlan) }
 
 // StripingStudy (extension): the paper's TPC-C testbed striped its
 // database across two drives — the standard way to scale a volume's
@@ -16,33 +19,50 @@ func init() { register("striping", StripingStudy) }
 // workload over striped MEMS volumes of 1, 2 and 4 sleds under SPTF;
 // each member runs its own queue, so the volume's saturation rate scales
 // with member count.
-func StripingStudy(p Params) []Table {
-	t := Table{
-		ID:      "striping",
-		Title:   "striped MEMS volume: mean response (ms) vs. arrival rate",
-		Columns: []string{"rate(req/s)", "1 sled", "2 sleds", "4 sleds"},
-	}
+func StripingStudy(p Params) []Table { return mustRun(stripingPlan(p)) }
+
+func stripingPlan(p Params) *Plan {
 	rates := []float64{1000, 2000, 4000, 6000, 8000}
-	cells := make(map[[2]int]float64) // (rateIdx, nIdx) → response
 	counts := []int{1, 2, 4}
+	grid := make([][]*runner.Job, len(rates))
+	var jobs []*runner.Job
 	for ri, rate := range rates {
+		grid[ri] = make([]*runner.Job, len(counts))
 		for ni, n := range counts {
-			cells[[2]int{ri, ni}] = stripedResponse(n, rate, p)
-		}
-	}
-	for ri, rate := range rates {
-		row := []string{f2(rate)}
-		for ni := range counts {
-			v := cells[[2]int{ri, ni}]
-			if v < 0 {
-				row = append(row, "—")
-			} else {
-				row = append(row, ms(v))
+			j := &runner.Job{
+				Label: fmt.Sprintf("striping %d sleds rate=%g", n, rate),
+				Seed:  p.Seed,
+				Custom: func(*runner.Job) any {
+					return stripedResponse(n, rate, p)
+				},
 			}
+			grid[ri][ni] = j
+			jobs = append(jobs, j)
 		}
-		t.AddRow(row...)
 	}
-	return []Table{t}
+	return &Plan{
+		Jobs: jobs,
+		Assemble: func() []Table {
+			t := Table{
+				ID:      "striping",
+				Title:   "striped MEMS volume: mean response (ms) vs. arrival rate",
+				Columns: []string{"rate(req/s)", "1 sled", "2 sleds", "4 sleds"},
+			}
+			for ri, rate := range rates {
+				row := []string{f2(rate)}
+				for ni := range counts {
+					v := grid[ri][ni].Value().(float64)
+					if v < 0 {
+						row = append(row, "—")
+					} else {
+						row = append(row, ms(v))
+					}
+				}
+				t.AddRow(row...)
+			}
+			return []Table{t}
+		},
+	}
 }
 
 // stripedResponse simulates an n-sled volume at the given rate and
@@ -70,7 +90,7 @@ func stripedResponse(n int, rate float64, p Params) float64 {
 		Seed:         p.Seed,
 	}
 	src := workload.NewRandom(cfg)
-	res := sim.RunMulti(devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
+	res := sim.RunMulti(nil, devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
 	if res.Response.Mean() > 1000 {
 		return -1
 	}

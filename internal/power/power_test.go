@@ -207,7 +207,7 @@ func TestManagedComposesWithSimulator(t *testing.T) {
 	run := func(p Policy) (meanResp float64, rep Report) {
 		m := NewManaged(d, MEMSModel(), p)
 		src := workload.DefaultRandom(20, 512, d.Capacity(), 1500, 5)
-		res := sim.Run(m, sched.NewFCFS(), src, sim.Options{Warmup: 100})
+		res := sim.Run(nil, m, sched.NewFCFS(), src, sim.Options{Warmup: 100})
 		m.FinishAt(res.Elapsed)
 		return res.Response.Mean(), m.Report()
 	}

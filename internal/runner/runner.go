@@ -1,0 +1,234 @@
+// Package runner executes declarative experiment jobs on a worker pool.
+//
+// The paper's evaluation is ~40 independent simulation runs per artifact
+// (device × scheduler × workload × scale factor), but device models and
+// schedulers are stateful and not safe for concurrent use
+// (core.Scheduler's contract), so nothing imperative could be
+// parallelized. A Job instead names factories for every piece of mutable
+// simulation state — device, scheduler, workload source — and the pool
+// builds fresh instances per job, so any worker can execute any job
+// without sharing state with its siblings.
+//
+// Determinism: each job's randomness derives from its own Seed, results
+// land in per-job slots, and callers assemble output by reading those
+// slots in declaration order after Run returns. A run with 8 workers is
+// therefore byte-identical to a run with 1, regardless of completion
+// order.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"memsim/internal/core"
+	"memsim/internal/sim"
+	"memsim/internal/stats"
+	"memsim/internal/workload"
+)
+
+// Job declares one isolated unit of simulation work.
+//
+// The declarative fields (Device, Scheduler, Source, Options) describe
+// the standard single-device regimes: a non-nil Scheduler factory selects
+// the open-arrival loop (sim.Run), a nil one the closed back-to-back loop
+// (sim.RunClosed). Custom replaces the declarative run entirely for
+// bespoke measurement loops (Monte-Carlo trials, multi-device volumes,
+// direct Access timing); a Custom body must construct every piece of
+// mutable state itself.
+type Job struct {
+	// Label identifies the job in progress reports and error messages
+	// (e.g. "fig6 SPTF rate=1500").
+	Label string
+	// Seed is the job's random seed. Factories and Custom bodies should
+	// draw all randomness from it so the job's outcome is a pure function
+	// of its declaration.
+	Seed int64
+
+	// Device builds the fresh device instance for this job.
+	Device core.DeviceFactory
+	// Scheduler, when non-nil, builds the job's scheduler and selects the
+	// open-arrival regime; nil selects the closed-loop regime.
+	Scheduler core.SchedulerFactory
+	// Source builds the job's workload stream, sized to the job's device.
+	Source workload.Factory
+	// Options passes through to the simulation entry point.
+	Options sim.Options
+
+	// Custom, when non-nil, replaces the declarative run; its return
+	// value becomes the job's Value. It may report simulated time by
+	// setting SimMs.
+	Custom func(j *Job) any
+
+	// SimMs is the simulated time the job covered in milliseconds. The
+	// declarative path fills it from the run's Elapsed; Custom bodies may
+	// set it themselves.
+	SimMs float64
+
+	res  sim.Result
+	val  any
+	done bool
+}
+
+// Result returns the declarative run's result. It panics if the job has
+// not been executed yet — assembling tables before Run returns is a
+// programming error the panic makes loud.
+func (j *Job) Result() sim.Result {
+	if !j.done {
+		panic(fmt.Sprintf("runner: job %q read before it ran", j.Label))
+	}
+	return j.res
+}
+
+// Value returns the Custom body's return value, with the same
+// must-have-run contract as Result.
+func (j *Job) Value() any {
+	if !j.done {
+		panic(fmt.Sprintf("runner: job %q read before it ran", j.Label))
+	}
+	return j.val
+}
+
+// run executes the job, converting panics into errors so one bad job
+// cannot take down the whole pool.
+func (j *Job) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job %q: panic: %v", j.Label, r)
+		}
+	}()
+	switch {
+	case j.Custom != nil:
+		j.val = j.Custom(j)
+	case j.Device == nil || j.Source == nil:
+		return fmt.Errorf("job %q: no Custom body and no device/source factories", j.Label)
+	case j.Scheduler != nil:
+		d := j.Device()
+		j.res = sim.Run(nil, d, j.Scheduler(), j.Source(d), j.Options)
+		j.SimMs = j.res.Elapsed
+	default:
+		d := j.Device()
+		j.res = sim.RunClosed(nil, d, j.Source(d), j.Options)
+		j.SimMs = j.res.Elapsed
+	}
+	j.done = true
+	return nil
+}
+
+// Event describes one finished job to a progress callback.
+type Event struct {
+	// Label of the job that just finished.
+	Label string
+	// Done and Total count finished and scheduled jobs in the batch.
+	Done, Total int
+	// WallMs is the host time the job took; SimMs the simulated time it
+	// covered.
+	WallMs, SimMs float64
+	// Err is non-nil when the job failed (panicked or was misdeclared).
+	Err error
+}
+
+// Summary aggregates a batch's metrics.
+type Summary struct {
+	// Jobs is the number of jobs executed.
+	Jobs int
+	// Wall and Sim accumulate per-job wall-clock and simulated
+	// milliseconds.
+	Wall, Sim stats.Welford
+	// ElapsedMs is the batch's host wall-clock from first dispatch to
+	// last completion.
+	ElapsedMs float64
+}
+
+// Context carries execution policy and observability through a batch of
+// jobs: how wide the worker pool is and who hears about progress.
+type Context struct {
+	// Workers caps concurrent job execution; zero or negative means
+	// GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives an Event after every job
+	// completes. Events arrive serialized (never concurrently) but in
+	// completion order, which under parallelism is not declaration order.
+	Progress func(Event)
+}
+
+// Run executes every job and returns aggregate metrics. Jobs run on a
+// pool of Context.Workers goroutines; results land in the jobs' own
+// slots. If any job fails, Run still executes the remaining jobs (they
+// are independent) and returns the first failure.
+func (c *Context) Run(jobs []*Job) (Summary, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if c != nil && c.Workers > 0 {
+		workers = c.Workers
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return Summary{}, nil
+	}
+
+	start := time.Now()
+	var (
+		wall, simt stats.Meter
+		mu         sync.Mutex // guards done count, firstErr, Progress calls
+		done       int
+		firstErr   error
+		wg         sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				jobStart := time.Now()
+				err := j.run()
+				wallMs := float64(time.Since(jobStart)) / float64(time.Millisecond)
+				wall.Add(wallMs)
+				simt.Add(j.SimMs)
+				mu.Lock()
+				done++
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if c != nil && c.Progress != nil {
+					c.Progress(Event{
+						Label: j.Label, Done: done, Total: len(jobs),
+						WallMs: wallMs, SimMs: j.SimMs, Err: err,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	sum := Summary{
+		Jobs:      len(jobs),
+		Wall:      wall.Snapshot(),
+		Sim:       simt.Snapshot(),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	return sum, firstErr
+}
+
+// Sequential returns a single-worker context: the reference execution
+// order that parallel runs must reproduce byte-for-byte.
+func Sequential() *Context { return &Context{Workers: 1} }
+
+// DeriveSeed maps a base seed and a job label to a stable per-job seed,
+// so sweeps that want decorrelated randomness per job can derive it
+// deterministically from the declaration alone.
+func DeriveSeed(base int64, label string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return base ^ int64(h.Sum64())
+}

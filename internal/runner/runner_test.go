@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/sched"
+	"memsim/internal/sim"
+	"memsim/internal/workload"
+)
+
+// tickDevice is a minimal deterministic device: every access costs svc ms.
+type tickDevice struct{ svc float64 }
+
+func (d *tickDevice) Name() string                                  { return "tick" }
+func (d *tickDevice) Capacity() int64                               { return 1 << 20 }
+func (d *tickDevice) SectorSize() int                               { return 512 }
+func (d *tickDevice) Reset()                                        {}
+func (d *tickDevice) Access(*core.Request, float64) float64         { return d.svc }
+func (d *tickDevice) EstimateAccess(*core.Request, float64) float64 { return d.svc }
+
+func openJob(label string, n int, seed int64) *Job {
+	return &Job{
+		Label:     label,
+		Seed:      seed,
+		Device:    func() core.Device { return &tickDevice{svc: 1} },
+		Scheduler: func() core.Scheduler { return sched.NewFCFS() },
+		Source: func(d core.Device) workload.Source {
+			return workload.DefaultRandom(100, d.SectorSize(), d.Capacity(), n, seed)
+		},
+	}
+}
+
+func TestDeclarativeJobRuns(t *testing.T) {
+	j := openJob("open", 50, 1)
+	sum, err := Sequential().Run([]*Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Result().Requests != 50 {
+		t.Errorf("requests = %d, want 50", j.Result().Requests)
+	}
+	if j.SimMs <= 0 || sum.Sim.Mean() != j.SimMs {
+		t.Errorf("sim time not recorded: job %g, summary %g", j.SimMs, sum.Sim.Mean())
+	}
+	if sum.Jobs != 1 || sum.Wall.N() != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestClosedJobRuns(t *testing.T) {
+	reqs := make([]*core.Request, 10)
+	for i := range reqs {
+		reqs[i] = &core.Request{Op: core.Read, LBN: int64(i), Blocks: 1}
+	}
+	j := &Job{
+		Label:  "closed",
+		Device: func() core.Device { return &tickDevice{svc: 2} },
+		Source: func(core.Device) workload.Source { return workload.NewFromSlice(reqs) },
+	}
+	if _, err := Sequential().Run([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Result().Elapsed; got != 20 {
+		t.Errorf("closed run elapsed = %g, want 20", got)
+	}
+}
+
+func TestParallelMatchesSequentialResults(t *testing.T) {
+	mk := func() []*Job {
+		jobs := make([]*Job, 24)
+		for i := range jobs {
+			jobs[i] = openJob(fmt.Sprintf("job%d", i), 200, int64(i+1))
+		}
+		return jobs
+	}
+	seqJobs, parJobs := mk(), mk()
+	if _, err := Sequential().Run(seqJobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Context{Workers: 8}).Run(parJobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqJobs {
+		a, b := seqJobs[i].Result(), parJobs[i].Result()
+		if a.Response.Mean() != b.Response.Mean() || a.Elapsed != b.Elapsed {
+			t.Errorf("job %d diverged: sequential %v vs parallel %v", i, a.String(), b.String())
+		}
+	}
+}
+
+func TestCustomJobValue(t *testing.T) {
+	j := &Job{
+		Label: "custom",
+		Seed:  7,
+		Custom: func(j *Job) any {
+			rng := rand.New(rand.NewSource(j.Seed))
+			j.SimMs = 42
+			return rng.Int63()
+		},
+	}
+	if _, err := (&Context{Workers: 4}).Run([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	want := rand.New(rand.NewSource(7)).Int63()
+	if j.Value().(int64) != want {
+		t.Errorf("custom value = %d, want %d", j.Value(), want)
+	}
+	if j.SimMs != 42 {
+		t.Errorf("SimMs = %g, want 42", j.SimMs)
+	}
+}
+
+func TestPanicBecomesErrorAndSiblingsStillRun(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []*Job{
+		{Label: "boom", Custom: func(*Job) any { panic("kaput") }},
+		{Label: "ok", Custom: func(*Job) any { ran.Add(1); return "fine" }},
+	}
+	_, err := Sequential().Run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("err = %v, want panic converted to error naming the job", err)
+	}
+	if ran.Load() != 1 {
+		t.Error("sibling job did not run after a failure")
+	}
+	if jobs[1].Value().(string) != "fine" {
+		t.Error("sibling result lost")
+	}
+}
+
+func TestMisdeclaredJobErrors(t *testing.T) {
+	_, err := Sequential().Run([]*Job{{Label: "empty"}})
+	if err == nil {
+		t.Fatal("expected error for a job with no body")
+	}
+}
+
+func TestReadBeforeRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic reading an unexecuted job")
+		}
+	}()
+	(&Job{Label: "unread"}).Result()
+}
+
+func TestProgressEvents(t *testing.T) {
+	const n = 9
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		jobs[i] = &Job{Label: fmt.Sprintf("j%d", i), Custom: func(*Job) any { return nil }}
+	}
+	var events []Event
+	ctx := &Context{Workers: 4, Progress: func(ev Event) { events = append(events, ev) }}
+	if _, err := ctx.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != n {
+			t.Errorf("event %d = %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, n)
+		}
+	}
+}
+
+func TestErrorEventCarriesError(t *testing.T) {
+	var got error
+	ctx := &Context{Workers: 1, Progress: func(ev Event) {
+		if ev.Err != nil {
+			got = ev.Err
+		}
+	}}
+	_, err := ctx.Run([]*Job{{Label: "bad", Custom: func(*Job) any { panic(errors.New("x")) }}})
+	if err == nil || got == nil {
+		t.Errorf("error not surfaced: run err %v, event err %v", err, got)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	sum, err := (&Context{}).Run(nil)
+	if err != nil || sum.Jobs != 0 {
+		t.Errorf("empty batch: sum=%+v err=%v", sum, err)
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(1, "fig6 SPTF rate=1500")
+	b := DeriveSeed(1, "fig6 SPTF rate=1500")
+	c := DeriveSeed(1, "fig6 SPTF rate=2000")
+	if a != b {
+		t.Error("DeriveSeed not stable")
+	}
+	if a == c {
+		t.Error("DeriveSeed should separate distinct labels")
+	}
+}
+
+// Exercise the worker pool under the race detector with real contention:
+// many jobs, progress callback, shared meters.
+func TestPoolUnderLoad(t *testing.T) {
+	jobs := make([]*Job, 64)
+	for i := range jobs {
+		jobs[i] = openJob(fmt.Sprintf("load%d", i), 100, int64(i))
+	}
+	var last int32
+	ctx := &Context{Workers: 8, Progress: func(ev Event) { atomic.StoreInt32(&last, int32(ev.Done)) }}
+	sum, err := ctx.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 64 || sum.Wall.N() != 64 || atomic.LoadInt32(&last) != 64 {
+		t.Errorf("summary %+v, last event %d", sum, last)
+	}
+	_ = sim.Options{} // keep the sim import for the declarative types
+}

@@ -79,7 +79,7 @@ func TestASPTFTamesSPTFTails(t *testing.T) {
 	d := mems.MustDevice(mems.DefaultConfig())
 	run := func(s core.Scheduler) (mean, max float64) {
 		src := workload.DefaultRandom(1600, d.SectorSize(), d.Capacity(), 4000, 3)
-		res := sim.Run(d, s, src, sim.Options{Warmup: 400})
+		res := sim.Run(nil, d, s, src, sim.Options{Warmup: 400})
 		return res.Response.Mean(), res.Response.Max()
 	}
 	_, sptfMax := run(NewSPTF())

@@ -19,8 +19,9 @@ type Router func(*core.Request) (dev int, devReq *core.Request)
 // completions interleave on the EventQueue.
 //
 // The returned Result aggregates over all devices; response times are
-// measured per volume-level request.
-func RunMulti(devs []core.Device, scheds []core.Scheduler, route Router,
+// measured per volume-level request. ctx (which may be nil) observes the
+// run's progress.
+func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route Router,
 	src workload.Source, opts Options) Result {
 	if len(devs) == 0 || len(devs) != len(scheds) {
 		panic(fmt.Sprintf("sim: %d devices with %d schedulers", len(devs), len(scheds)))
@@ -37,6 +38,7 @@ func RunMulti(devs []core.Device, scheds []core.Scheduler, route Router,
 
 	complete := func(r *core.Request, qlen int) {
 		completed++
+		ctx.progress(completed, q.Now())
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}

@@ -27,7 +27,7 @@ func TestRunMultiParallelism(t *testing.T) {
 	for i, r := range reqs {
 		r.LBN = int64(i) * 100 // route one to each device
 	}
-	res := RunMulti(devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	res := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
 	if res.Requests != 4 {
 		t.Fatalf("requests = %d", res.Requests)
 	}
@@ -43,7 +43,7 @@ func TestRunMultiSerializesPerDevice(t *testing.T) {
 	// Four simultaneous arrivals onto one device of four: they queue.
 	devs, scheds := multiFixtures(4, 2)
 	reqs := mkReqs([]float64{0, 0, 0, 0})
-	res := RunMulti(devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	res := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
 	if res.Response.Max() != 8 {
 		t.Errorf("max response = %g, want 8 (serialized)", res.Response.Max())
 	}
@@ -53,11 +53,11 @@ func TestRunMultiMatchesSingleDeviceRun(t *testing.T) {
 	// With one device, RunMulti must agree exactly with Run.
 	d1 := mems.MustDevice(mems.DefaultConfig())
 	src1 := workload.DefaultRandom(900, 512, d1.Capacity(), 3000, 9)
-	single := Run(d1, sched.NewFCFS(), src1, Options{Warmup: 100})
+	single := Run(nil, d1, sched.NewFCFS(), src1, Options{Warmup: 100})
 
 	d2 := mems.MustDevice(mems.DefaultConfig())
 	src2 := workload.DefaultRandom(900, 512, d2.Capacity(), 3000, 9)
-	multi := RunMulti([]core.Device{d2}, []core.Scheduler{sched.NewFCFS()},
+	multi := RunMulti(nil, []core.Device{d2}, []core.Scheduler{sched.NewFCFS()},
 		ConcatRouter(d2.Capacity()), src2, Options{Warmup: 100})
 
 	if math.Abs(single.Response.Mean()-multi.Response.Mean()) > 1e-9 {
@@ -81,11 +81,11 @@ func TestRunMultiScalesThroughput(t *testing.T) {
 	}
 	devs1, scheds1, cap1 := mk(1)
 	src := workload.DefaultRandom(2000, 512, cap1, 6000, 4)
-	one := RunMulti(devs1, scheds1, ConcatRouter(cap1), src, Options{Warmup: 500})
+	one := RunMulti(nil, devs1, scheds1, ConcatRouter(cap1), src, Options{Warmup: 500})
 
 	devs4, scheds4, cap4 := mk(4)
 	src4 := workload.DefaultRandom(2000, 512, 4*cap4, 6000, 4)
-	four := RunMulti(devs4, scheds4, ConcatRouter(cap4), src4, Options{Warmup: 500})
+	four := RunMulti(nil, devs4, scheds4, ConcatRouter(cap4), src4, Options{Warmup: 500})
 
 	if four.Response.Mean()*3 > one.Response.Mean() {
 		t.Errorf("4-device volume %.2f ms should be far below saturated single %.2f ms",
@@ -96,7 +96,7 @@ func TestRunMultiScalesThroughput(t *testing.T) {
 func TestRunMultiMaxRequests(t *testing.T) {
 	devs, scheds := multiFixtures(2, 1)
 	src := workload.NewFromSlice(mkReqs(make([]float64, 50)))
-	res := RunMulti(devs, scheds, ConcatRouter(1<<29), src, Options{MaxRequests: 7})
+	res := RunMulti(nil, devs, scheds, ConcatRouter(1<<29), src, Options{MaxRequests: 7})
 	if res.Requests != 7 {
 		t.Errorf("requests = %d, want 7", res.Requests)
 	}
@@ -105,11 +105,11 @@ func TestRunMultiMaxRequests(t *testing.T) {
 func TestRunMultiPanics(t *testing.T) {
 	devs, scheds := multiFixtures(2, 1)
 	for _, f := range []func(){
-		func() { RunMulti(nil, nil, nil, nil, Options{}) },
-		func() { RunMulti(devs, scheds[:1], nil, nil, Options{}) },
+		func() { RunMulti(nil, nil, nil, nil, nil, Options{}) },
+		func() { RunMulti(nil, devs, scheds[:1], nil, nil, Options{}) },
 		func() {
 			bad := func(*core.Request) (int, *core.Request) { return 5, &core.Request{Blocks: 1} }
-			RunMulti(devs, scheds, bad, workload.NewFromSlice(mkReqs([]float64{0})), Options{})
+			RunMulti(nil, devs, scheds, bad, workload.NewFromSlice(mkReqs([]float64{0})), Options{})
 		},
 	} {
 		func() {

@@ -17,6 +17,37 @@ import (
 	"memsim/internal/workload"
 )
 
+// Context carries run-scoped observability through the simulation entry
+// points (Run, RunClosed, RunMulti). It separates *how a run is watched*
+// from Options, which describe *what is simulated*: the parallel
+// experiment runner and the interactive CLIs thread a Context through
+// without touching the experiment declarations. A nil *Context is valid
+// and observes nothing.
+type Context struct {
+	// OnProgress, when non-nil, is invoked after every ProgressEvery
+	// completions (warmup included) with the completion count and the
+	// current simulated time in milliseconds.
+	OnProgress func(completed int, simMs float64)
+	// ProgressEvery is the completion interval between OnProgress calls;
+	// zero or negative means 1000.
+	ProgressEvery int
+}
+
+// progress reports one completion, firing OnProgress on interval
+// boundaries. Safe on a nil receiver.
+func (c *Context) progress(completed int, simMs float64) {
+	if c == nil || c.OnProgress == nil {
+		return
+	}
+	every := c.ProgressEvery
+	if every <= 0 {
+		every = 1000
+	}
+	if completed%every == 0 {
+		c.OnProgress(completed, simMs)
+	}
+}
+
 // Options tunes a simulation run.
 type Options struct {
 	// Warmup excludes the first N completed requests from the reported
@@ -67,7 +98,7 @@ func (r *Result) String() string {
 // Run executes an open-arrival simulation: requests arrive at their
 // source-assigned times, queue in s, and are serviced by d. The device
 // and scheduler are Reset before the run.
-func Run(d core.Device, s core.Scheduler, src workload.Source, opts Options) Result {
+func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opts Options) Result {
 	d.Reset()
 	s.Reset()
 	var res Result
@@ -99,6 +130,7 @@ func Run(d core.Device, s core.Scheduler, src workload.Source, opts Options) Res
 		now = r.Finish
 		res.Busy += svc
 		completed++
+		ctx.progress(completed, now)
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
@@ -120,7 +152,7 @@ func Run(d core.Device, s core.Scheduler, src workload.Source, opts Options) Res
 // begins the moment the previous one completes (no queueing). This is the
 // regime of the data-placement experiments (§5.3), which compare average
 // service times.
-func RunClosed(d core.Device, src workload.Source, opts Options) Result {
+func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) Result {
 	d.Reset()
 	var res Result
 	now := 0.0
@@ -136,6 +168,7 @@ func RunClosed(d core.Device, src workload.Source, opts Options) Result {
 		now = r.Finish
 		res.Busy += svc
 		completed++
+		ctx.progress(completed, now)
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}

@@ -37,7 +37,7 @@ func TestRunNoContention(t *testing.T) {
 	// Arrivals far apart: response time = service time exactly.
 	d := &fixedDevice{svc: 2}
 	src := workload.NewFromSlice(mkReqs([]float64{0, 100, 200}))
-	res := Run(d, sched.NewFCFS(), src, Options{})
+	res := Run(nil, d, sched.NewFCFS(), src, Options{})
 	if res.Requests != 3 {
 		t.Fatalf("requests = %d", res.Requests)
 	}
@@ -57,7 +57,7 @@ func TestRunQueueing(t *testing.T) {
 	d := &fixedDevice{svc: 2}
 	src := workload.NewFromSlice(mkReqs([]float64{0, 0, 0}))
 	var responses []float64
-	res := Run(d, sched.NewFCFS(), src, Options{
+	res := Run(nil, d, sched.NewFCFS(), src, Options{
 		OnComplete: func(r *core.Request) { responses = append(responses, r.ResponseTime()) },
 	})
 	sort.Float64s(responses)
@@ -78,7 +78,7 @@ func TestRunQueueing(t *testing.T) {
 func TestRunWarmup(t *testing.T) {
 	d := &fixedDevice{svc: 1}
 	src := workload.NewFromSlice(mkReqs([]float64{0, 10, 20, 30}))
-	res := Run(d, sched.NewFCFS(), src, Options{Warmup: 2})
+	res := Run(nil, d, sched.NewFCFS(), src, Options{Warmup: 2})
 	if res.Requests != 2 {
 		t.Errorf("measured requests = %d, want 2", res.Requests)
 	}
@@ -87,7 +87,7 @@ func TestRunWarmup(t *testing.T) {
 func TestRunMaxRequests(t *testing.T) {
 	d := &fixedDevice{svc: 1}
 	src := workload.NewFromSlice(mkReqs(make([]float64, 100)))
-	res := Run(d, sched.NewFCFS(), src, Options{MaxRequests: 10})
+	res := Run(nil, d, sched.NewFCFS(), src, Options{MaxRequests: 10})
 	if res.Requests != 10 {
 		t.Errorf("requests = %d, want 10", res.Requests)
 	}
@@ -99,7 +99,7 @@ func TestRunSchedulerSeesArrivedOnly(t *testing.T) {
 	d := &fixedDevice{svc: 5}
 	reqs := mkReqs([]float64{0, 1})
 	src := workload.NewFromSlice(reqs)
-	Run(d, sched.NewFCFS(), src, Options{})
+	Run(nil, d, sched.NewFCFS(), src, Options{})
 	if reqs[1].Start < reqs[1].Arrival {
 		t.Errorf("request started at %g before arriving at %g", reqs[1].Start, reqs[1].Arrival)
 	}
@@ -113,7 +113,7 @@ func TestRunIdlePeriods(t *testing.T) {
 	// elapsed time tracks the last completion.
 	d := &fixedDevice{svc: 1}
 	src := workload.NewFromSlice(mkReqs([]float64{0, 50}))
-	res := Run(d, sched.NewFCFS(), src, Options{})
+	res := Run(nil, d, sched.NewFCFS(), src, Options{})
 	if res.Elapsed != 51 {
 		t.Errorf("elapsed = %g, want 51", res.Elapsed)
 	}
@@ -126,7 +126,7 @@ func TestRunDeterministic(t *testing.T) {
 	d := mems.MustDevice(mems.DefaultConfig())
 	run := func() float64 {
 		src := workload.DefaultRandom(800, 512, d.Capacity(), 2000, 11)
-		res := Run(d, sched.NewSPTF(), src, Options{Warmup: 100})
+		res := Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 100})
 		return res.Response.Mean()
 	}
 	if a, b := run(), run(); a != b {
@@ -140,8 +140,8 @@ func TestRunMEMSFasterThanDisk(t *testing.T) {
 	// the disk's.
 	md := mems.MustDevice(mems.DefaultConfig())
 	dd := disk.MustDevice(disk.Atlas10K())
-	mres := Run(md, sched.NewFCFS(), workload.DefaultRandom(50, 512, md.Capacity(), 3000, 1), Options{Warmup: 200})
-	dres := Run(dd, sched.NewFCFS(), workload.DefaultRandom(50, 512, dd.Capacity(), 3000, 1), Options{Warmup: 200})
+	mres := Run(nil, md, sched.NewFCFS(), workload.DefaultRandom(50, 512, md.Capacity(), 3000, 1), Options{Warmup: 200})
+	dres := Run(nil, dd, sched.NewFCFS(), workload.DefaultRandom(50, 512, dd.Capacity(), 3000, 1), Options{Warmup: 200})
 	if mres.Response.Mean()*5 > dres.Response.Mean() {
 		t.Errorf("MEMS %.3f ms vs disk %.3f ms: want ≥ 5× gap",
 			mres.Response.Mean(), dres.Response.Mean())
@@ -154,7 +154,7 @@ func TestSchedulingReducesResponseUnderLoad(t *testing.T) {
 	d := mems.MustDevice(mems.DefaultConfig())
 	run := func(s core.Scheduler) float64 {
 		src := workload.DefaultRandom(1100, 512, d.Capacity(), 8000, 3)
-		return Run(d, s, src, Options{Warmup: 500}).Response.Mean()
+		return Run(nil, d, s, src, Options{Warmup: 500}).Response.Mean()
 	}
 	fcfs := run(sched.NewFCFS())
 	sptf := run(sched.NewSPTF())
@@ -166,7 +166,7 @@ func TestSchedulingReducesResponseUnderLoad(t *testing.T) {
 func TestRunClosedBackToBack(t *testing.T) {
 	d := &fixedDevice{svc: 3}
 	src := workload.NewFromSlice(mkReqs([]float64{0, 0, 0, 0}))
-	res := RunClosed(d, src, Options{})
+	res := RunClosed(nil, d, src, Options{})
 	if res.Requests != 4 || res.Elapsed != 12 {
 		t.Errorf("closed run: n=%d elapsed=%g", res.Requests, res.Elapsed)
 	}
@@ -181,7 +181,7 @@ func TestRunClosedBackToBack(t *testing.T) {
 func TestRunClosedMaxRequests(t *testing.T) {
 	d := &fixedDevice{svc: 1}
 	src := workload.NewFromSlice(mkReqs(make([]float64, 50)))
-	res := RunClosed(d, src, Options{MaxRequests: 5})
+	res := RunClosed(nil, d, src, Options{MaxRequests: 5})
 	if res.Requests != 5 {
 		t.Errorf("requests = %d", res.Requests)
 	}
@@ -287,7 +287,7 @@ func TestRunMatchesMD1Theory(t *testing.T) {
 	)
 	d := &fixedDevice{svc: svc}
 	src := workload.DefaultRandom(rate, 512, 1<<30, 200000, 123)
-	res := Run(d, sched.NewFCFS(), src, Options{Warmup: 5000})
+	res := Run(nil, d, sched.NewFCFS(), src, Options{Warmup: 5000})
 	wantWait := rho * svc / (2 * (1 - rho)) // 1.5 ms
 	gotWait := res.Response.Mean() - svc
 	if math.Abs(gotWait-wantWait) > 0.15 {
@@ -296,5 +296,33 @@ func TestRunMatchesMD1Theory(t *testing.T) {
 	// Utilization should match ρ.
 	if math.Abs(res.Utilization()-rho) > 0.02 {
 		t.Errorf("utilization = %.3f, want %.2f", res.Utilization(), rho)
+	}
+}
+
+func TestContextProgress(t *testing.T) {
+	d := &fixedDevice{svc: 1}
+	src := workload.NewFromSlice(mkReqs(make([]float64, 25)))
+	var at []int
+	ctx := &Context{
+		ProgressEvery: 10,
+		OnProgress:    func(completed int, _ float64) { at = append(at, completed) },
+	}
+	Run(ctx, d, sched.NewFCFS(), src, Options{})
+	if len(at) != 2 || at[0] != 10 || at[1] != 20 {
+		t.Errorf("progress fired at %v, want [10 20]", at)
+	}
+	// A nil context is valid everywhere.
+	src = workload.NewFromSlice(mkReqs(make([]float64, 3)))
+	Run(nil, d, sched.NewFCFS(), src, Options{})
+}
+
+func TestContextProgressDefaultInterval(t *testing.T) {
+	d := &fixedDevice{svc: 0.001}
+	src := workload.NewFromSlice(mkReqs(make([]float64, 2500)))
+	fired := 0
+	ctx := &Context{OnProgress: func(int, float64) { fired++ }}
+	RunClosed(ctx, d, src, Options{})
+	if fired != 2 { // defaults to every 1000 completions
+		t.Errorf("default interval fired %d times, want 2", fired)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Welford accumulates a running mean and variance without retaining
@@ -107,6 +108,29 @@ func (w *Welford) Merge(other *Welford) {
 		w.max = other.max
 	}
 	w.n = n
+}
+
+// Meter is a Welford accumulator safe for concurrent use. The parallel
+// experiment runner's workers fold per-job metrics (wall-clock and
+// simulated milliseconds) into shared Meters without further locking.
+// The zero value is an empty accumulator ready to use.
+type Meter struct {
+	mu sync.Mutex
+	w  Welford
+}
+
+// Add folds one observation into the accumulator.
+func (m *Meter) Add(x float64) {
+	m.mu.Lock()
+	m.w.Add(x)
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated statistics.
+func (m *Meter) Snapshot() Welford {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.w
 }
 
 // Sample retains every observation so that exact order statistics can be

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -281,5 +282,31 @@ func TestHistogramConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestMeterConcurrentAdds(t *testing.T) {
+	// A Meter must accumulate exactly like a Welford fed the same
+	// observations, regardless of how many goroutines feed it.
+	var m Meter
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.N() != workers*per {
+		t.Fatalf("N = %d, want %d", snap.N(), workers*per)
+	}
+	want := float64(workers*per-1) / 2
+	if math.Abs(snap.Mean()-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", snap.Mean(), want)
 	}
 }

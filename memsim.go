@@ -32,6 +32,7 @@ import (
 	"memsim/internal/experiments"
 	"memsim/internal/mems"
 	"memsim/internal/power"
+	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
@@ -159,16 +160,25 @@ type SimOptions = sim.Options
 // starvation metric).
 type SimResult = sim.Result
 
+// SimContext observes a run in flight (periodic progress callbacks); a
+// nil *SimContext is valid and observes nothing.
+type SimContext = sim.Context
+
 // Simulate executes an open-arrival simulation: requests arrive at their
 // source-assigned times, queue in s, and are serviced by d.
 func Simulate(d Device, s Scheduler, src WorkloadSource, opts SimOptions) SimResult {
-	return sim.Run(d, s, src, opts)
+	return sim.Run(nil, d, s, src, opts)
+}
+
+// SimulateCtx is Simulate with an observing context.
+func SimulateCtx(ctx *SimContext, d Device, s Scheduler, src WorkloadSource, opts SimOptions) SimResult {
+	return sim.Run(ctx, d, s, src, opts)
 }
 
 // SimulateClosed executes a closed, back-to-back run (the §5.3
 // service-time regime).
 func SimulateClosed(d Device, src WorkloadSource, opts SimOptions) SimResult {
-	return sim.RunClosed(d, src, opts)
+	return sim.RunClosed(nil, d, src, opts)
 }
 
 // Router directs a volume-level request to a member device.
@@ -179,7 +189,7 @@ type Router = sim.Router
 // paper's striped TPC-C testbed.
 func SimulateMulti(devs []Device, scheds []Scheduler, route Router,
 	src WorkloadSource, opts SimOptions) SimResult {
-	return sim.RunMulti(devs, scheds, route, src, opts)
+	return sim.RunMulti(nil, devs, scheds, route, src, opts)
 }
 
 // ConcatRouter routes by address concatenation (device i holds LBNs
@@ -245,4 +255,13 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper artifact.
 func RunExperiment(id string, p ExperimentParams) ([]ExperimentTable, error) {
 	return experiments.Run(id, p)
+}
+
+// RunExperiments regenerates several artifacts as one batch of isolated
+// simulation jobs spread over workers goroutines (0 means GOMAXPROCS).
+// Results come back per requested ID, in order, and are byte-identical
+// to a sequential run regardless of worker count.
+func RunExperiments(ids []string, p ExperimentParams, workers int) ([][]ExperimentTable, error) {
+	out, _, err := experiments.RunMany(&runner.Context{Workers: workers}, ids, p)
+	return out, err
 }
