@@ -10,9 +10,11 @@
 //	memsbench -parallel 8         # worker-pool width (default: NumCPU)
 //	memsbench -progress           # report per-job completions to stderr
 //	memsbench -list               # list artifact IDs
+//	memsbench -run faultinject -fault-rate 0.02
+//	                              # fault injection with an extra error rate
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
-// quantified extensions fault and power (DESIGN.md §2).
+// quantified extensions fault, faultinject and power (DESIGN.md §2).
 //
 // Every experiment is a batch of isolated jobs (internal/runner), so
 // -parallel N spreads the suite over N workers while producing output
@@ -33,15 +35,17 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
-		quick    = flag.Bool("quick", false, "use reduced simulation sizes")
-		csv      = flag.Bool("csv", false, "emit CSV files instead of text tables")
-		out      = flag.String("o", "", "output directory for -csv (default: current)")
-		list     = flag.Bool("list", false, "list artifact IDs and exit")
-		seed     = flag.Int64("seed", 1, "random seed for all generators")
-		reqs     = flag.Int("requests", 0, "override per-run request count (rescales warmup, closed runs and trials proportionally)")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation jobs to run concurrently")
-		progress = flag.Bool("progress", false, "report per-job completions to stderr")
+		run       = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
+		quick     = flag.Bool("quick", false, "use reduced simulation sizes")
+		csv       = flag.Bool("csv", false, "emit CSV files instead of text tables")
+		out       = flag.String("o", "", "output directory for -csv (default: current)")
+		list      = flag.Bool("list", false, "list artifact IDs and exit")
+		seed      = flag.Int64("seed", 1, "random seed for all generators")
+		reqs      = flag.Int("requests", 0, "override per-run request count (rescales warmup, closed runs and trials proportionally)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "simulation jobs to run concurrently")
+		progress  = flag.Bool("progress", false, "report per-job completions to stderr")
+		faultRate = flag.Float64("fault-rate", 0, "extra transient-error rate for the faultinject sweep, in [0,1)")
+		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
 	)
 	flag.Parse()
 
@@ -56,7 +60,12 @@ func main() {
 	if *quick {
 		p = experiments.Quick()
 	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		fatal(fmt.Errorf("-fault-rate %g out of [0,1)", *faultRate))
+	}
 	p.Seed = *seed
+	p.FaultRate = *faultRate
+	p.FaultSeed = *faultSeed
 	p = p.WithRequests(*reqs)
 
 	ids := experiments.IDs()

@@ -24,7 +24,11 @@ func main() {
 	failed := 0
 	for {
 		tip := rng.Intn(cfg.Tips)
-		if !arr.FailTip(tip) {
+		ok, err := arr.FailTip(tip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
 			break
 		}
 		failed = arr.FailedTips()

@@ -100,6 +100,27 @@ type ErasureCode = fault.RS
 // NewErasureCode builds a code with k data and m parity shards.
 func NewErasureCode(k, m int) (*ErasureCode, error) { return fault.NewRS(k, m) }
 
+// FaultInjector drives deterministic in-simulation fault injection:
+// transient positioning errors recovered by bounded device-level retry,
+// scheduled tip failures evolving the redundancy array mid-run, and
+// ECC-reconstruction surcharges on degraded-stripe reads. Pass one via
+// SimOptions.Injector.
+type FaultInjector = fault.Injector
+
+// FaultInjectorConfig declares a fault-injection scenario.
+type FaultInjectorConfig = fault.InjectorConfig
+
+// TipFaultEvent schedules one tip failure or grown media defect at a
+// simulated time.
+type TipFaultEvent = fault.TipEvent
+
+// DefaultFaultInjectorConfig returns the retry envelope used by the
+// fault-injection experiments.
+func DefaultFaultInjectorConfig() FaultInjectorConfig { return fault.DefaultInjectorConfig() }
+
+// NewFaultInjector validates cfg and builds an injector ready for a run.
+func NewFaultInjector(cfg FaultInjectorConfig) (*FaultInjector, error) { return fault.NewInjector(cfg) }
+
 // SlipRemapDevice wraps a device with a disk-style defective-sector
 // remap table, modeling the sequentiality-breaking penalty that MEMS
 // spare-tip remapping avoids (§6.1.1).

@@ -46,6 +46,26 @@ type Request struct {
 	Start float64
 	// Finish is the time service completed (set by the simulator).
 	Finish float64
+
+	// The remaining fields are fault-injection accounting, filled by the
+	// simulator only when a run carries an injector; without one they stay
+	// zero and the request behaves exactly as before.
+
+	// Retries counts transient positioning errors recovered by device-level
+	// retry (§6.1.3), each charged to the request's service time.
+	Retries int
+	// Requeues counts the times the request was returned to the scheduler
+	// queue after a service visit exhausted its device-level retry budget.
+	Requeues int
+	// RecoveryMs is the total added recovery time in ms: retry penalties
+	// plus any ECC-reconstruction surcharge for degraded-stripe reads.
+	RecoveryMs float64
+	// Degraded marks a read that touched a degraded stripe (a failed,
+	// unremapped tip) and paid ECC reconstruction.
+	Degraded bool
+	// Failed marks a request that exhausted every retry and requeue and
+	// completed in error.
+	Failed bool
 }
 
 // ResponseTime returns queue time plus service time, the paper's primary
@@ -106,6 +126,29 @@ type Scheduler interface {
 
 	// Reset discards all pending requests and any algorithm state.
 	Reset()
+}
+
+// RecoveryModel is implemented by device models that can price the
+// recovery cost of a transient positioning error (§6.1.3). Disks pay a
+// short re-seek plus rotational re-miss; MEMS devices pay only
+// turnarounds plus a short repositioning seek, because the sled's motion
+// is fully controlled (§2.4.8). The fault-injection layer charges this
+// penalty once per retried attempt.
+type RecoveryModel interface {
+	// ErrorPenalty returns the recovery cost in ms of one transient
+	// positioning error for req at simulated time now. u ∈ [0,1) is the
+	// injector's uniform draw selecting where in the recovery envelope the
+	// retry lands (for disks, the rotational fraction; for MEMS, the
+	// turnaround count).
+	ErrorPenalty(req *Request, now, u float64) float64
+}
+
+// Requeuer is optionally implemented by schedulers that distinguish
+// requeued (retried) requests from fresh arrivals. The simulator prefers
+// Requeue over Add when returning a request whose service visit failed;
+// schedulers without the method treat retries like new arrivals.
+type Requeuer interface {
+	Requeue(r *Request)
 }
 
 // DeviceFactory constructs a fresh, unshared Device. Device models are

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"memsim/internal/core"
+	"memsim/internal/fault"
 )
 
 // Config parameterizes the drive. Use Atlas10K for the paper's reference
@@ -313,6 +314,27 @@ func (d *Device) access(req *core.Request, now float64) (done float64, cyl, head
 		remaining -= n
 	}
 	return t, cyl, head
+}
+
+// ErrorPenalty implements core.RecoveryModel with the §6.1.3 disk
+// model: recovering from a transient seek error costs a short re-seek
+// (a single-cylinder move) plus the rotational delay for the target
+// sector to come around again — u ∈ [0,1) selects where in the rotation
+// the retry lands, so the expected penalty includes half a revolution.
+// This rotational re-miss is exactly the term the MEMS device does not
+// pay.
+func (d *Device) ErrorPenalty(_ *core.Request, _ float64, u float64) float64 {
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	pen, err := fault.DiskSeekErrorPenalty(d.SeekTime(1), d.period, u)
+	if err != nil {
+		// Unreachable: u was clamped into [0,1).
+		panic(err)
+	}
+	return pen
 }
 
 // State returns the current cylinder and head (rotation is a function of

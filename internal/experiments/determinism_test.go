@@ -28,7 +28,10 @@ func TestParallelMatchesSequentialOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite in -short mode")
 	}
-	p := Params{Requests: 800, Warmup: 80, ClosedRequests: 400, Trials: 80, Seed: 3}
+	// FaultRate > 0 widens the faultinject sweep, so the injection path —
+	// injector rng, mid-run tip events, requeues — is under the same
+	// byte-identity contract as everything else.
+	p := Params{Requests: 800, Warmup: 80, ClosedRequests: 400, Trials: 80, Seed: 3, FaultRate: 0.02}
 	ids := IDs()
 
 	seq, _, err := RunMany(runner.Sequential(), ids, p)

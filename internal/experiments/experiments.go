@@ -34,6 +34,21 @@ type Params struct {
 	Trials int
 	// Seed for all generators.
 	Seed int64
+	// FaultRate, when positive, is an extra per-attempt transient-error
+	// probability added to the faultinject sweep (cmd/memsbench
+	// -fault-rate). Zero leaves the standard sweep untouched.
+	FaultRate float64
+	// FaultSeed seeds the fault injectors' private random streams; zero
+	// derives one from Seed, so injection stays deterministic either way.
+	FaultSeed int64
+}
+
+// faultSeed resolves the injector base seed per the FaultSeed contract.
+func (p Params) faultSeed() int64 {
+	if p.FaultSeed != 0 {
+		return p.FaultSeed
+	}
+	return runner.DeriveSeed(p.Seed, "faultinject")
 }
 
 // Default returns full-size parameters (minutes of CPU for the whole

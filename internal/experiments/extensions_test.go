@@ -277,3 +277,44 @@ func TestSeekProfileShape(t *testing.T) {
 		t.Errorf("disk seek extremes = %g…%g", first, last)
 	}
 }
+
+func TestFaultInjectShape(t *testing.T) {
+	ts := FaultInject(tiny())
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	a, b := ts[0], ts[1]
+	if a.ID != "faultinject-a" || b.ID != "faultinject-b" {
+		t.Fatalf("table IDs = %s, %s", a.ID, b.ID)
+	}
+	if len(a.Rows) != len(transientRates) || len(b.Rows) != len(tipFailureCounts) {
+		t.Fatalf("rows = %d/%d", len(a.Rows), len(b.Rows))
+	}
+	// §6.1.3 asymmetry, end to end through the simulator: wherever both
+	// devices retried, the disk's per-error recovery cost (re-seek plus
+	// rotational re-miss) must exceed the MEMS cost (turnarounds plus a
+	// short X seek).
+	compared := 0
+	for _, row := range a.Rows {
+		if row[4] == "-" || row[8] == "-" {
+			continue
+		}
+		memsCost, diskCost := cell(t, row[4]), cell(t, row[8])
+		if diskCost <= memsCost {
+			t.Errorf("rate %s: disk ms/error %g ≤ MEMS %g", row[0], diskCost, memsCost)
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Error("no rate row produced retries on both devices")
+	}
+	// Tip-failure sweep: small failure counts are fully absorbed by
+	// spares; the largest drains the pool and forces degraded reads.
+	if got := cell(t, b.Rows[0][3]); got != 0 {
+		t.Errorf("k=%d: %g degraded reads despite spare cover", tipFailureCounts[0], got)
+	}
+	last := b.Rows[len(b.Rows)-1]
+	if cell(t, last[1]) == 0 || cell(t, last[2]) == 0 || cell(t, last[3]) == 0 {
+		t.Errorf("largest failure count produced no degraded-mode service: %v", last)
+	}
+}

@@ -118,12 +118,20 @@ func seekErrorTable() Table {
 		Title:   "seek-error penalties (§6.1.3, ms)",
 		Columns: []string{"device", "expected", "worst case"},
 	}
+	// The arguments below are in range by construction, so an error here
+	// is a bug in this table, not a user mistake.
+	must := func(v float64, err error) float64 {
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
 	pen.AddRow("Atlas 10K (re-seek + rotation)",
-		ms(fault.DiskSeekErrorPenalty(1.5, 5.985, 0.5)),
-		ms(fault.DiskSeekErrorPenalty(2.0, 5.985, 0.999)))
+		ms(must(fault.DiskSeekErrorPenalty(1.5, 5.985, 0.5))),
+		ms(must(fault.DiskSeekErrorPenalty(2.0, 5.985, 0.999))))
 	pen.AddRow("MEMS (turnarounds + short seek)",
-		ms(fault.MEMSSeekErrorPenalty(0.07, 0.2, 1)),
-		ms(fault.MEMSSeekErrorPenalty(0.28, 0.45, 2)))
+		ms(must(fault.MEMSSeekErrorPenalty(0.07, 0.2, 1))),
+		ms(must(fault.MEMSSeekErrorPenalty(0.28, 0.45, 2))))
 	return pen
 }
 

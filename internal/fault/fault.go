@@ -107,10 +107,12 @@ func (a *Array) stripeOf(id int) int {
 // FailTip records the failure of tip id (a broken or crashed probe tip,
 // §6.1.1) and attempts to remap its region to a spare. It reports whether
 // the device still has no data loss afterwards. Failing an already-failed
-// tip is a no-op.
-func (a *Array) FailTip(id int) (stillRecoverable bool) {
+// tip is a no-op. An out-of-range id leaves the array untouched and
+// returns an error, so a misconfigured experiment fails cleanly instead
+// of killing its worker.
+func (a *Array) FailTip(id int) (stillRecoverable bool, err error) {
 	if id < 0 || id >= a.cfg.Tips {
-		panic(fmt.Sprintf("fault: tip %d out of range [0,%d)", id, a.cfg.Tips))
+		return !a.DataLoss(), fmt.Errorf("fault: tip %d out of range [0,%d)", id, a.cfg.Tips)
 	}
 	if !a.failed[id] {
 		a.failed[id] = true
@@ -130,7 +132,7 @@ func (a *Array) FailTip(id int) (stillRecoverable bool) {
 			a.failedAt[g]++
 		}
 	}
-	return !a.DataLoss()
+	return !a.DataLoss(), nil
 }
 
 // removeSpare deletes id from the spare pool if present; if the spare was
@@ -161,14 +163,16 @@ func (a *Array) removeSpare(id int) {
 // a tip failure it affects only part of the region; it is recoverable via
 // the stripe's ECC without consuming a spare, so it is tallied but does
 // not degrade the stripe budget. Defects on the same tip as a prior
-// failure are subsumed by it.
-func (a *Array) MediaDefect(id int) {
+// failure are subsumed by it. An out-of-range id returns an error and
+// changes nothing.
+func (a *Array) MediaDefect(id int) error {
 	if id < 0 || id >= a.cfg.Tips {
-		panic(fmt.Sprintf("fault: tip %d out of range [0,%d)", id, a.cfg.Tips))
+		return fmt.Errorf("fault: tip %d out of range [0,%d)", id, a.cfg.Tips)
 	}
 	if !a.failed[id] {
 		a.defects++
 	}
+	return nil
 }
 
 // Defects reports the recoverable media defects absorbed so far.
@@ -178,6 +182,30 @@ func (a *Array) Defects() int { return a.defects }
 func (a *Array) RemappedTo(id int) (int, bool) {
 	sp, ok := a.remap[id]
 	return sp, ok
+}
+
+// TipDegraded reports whether tip id is a failed data tip currently
+// lacking spare cover, so that sectors striped over it must be served by
+// ECC reconstruction. Remapped tips and dead spare-pool tips (which hold
+// no data) are not degraded. Out-of-range ids report false.
+func (a *Array) TipDegraded(id int) bool {
+	if id < 0 || id >= a.cfg.Tips || !a.failed[id] {
+		return false
+	}
+	if _, ok := a.remap[id]; ok {
+		return false
+	}
+	return a.stripeOf(id) >= 0
+}
+
+// UnremappedFailures counts failed data tips currently lacking spare
+// cover — the tips whose stripes are serving reads in degraded mode.
+func (a *Array) UnremappedFailures() int {
+	n := 0
+	for _, f := range a.failedAt {
+		n += f
+	}
+	return n
 }
 
 // DataLoss reports whether any stripe group has more unremapped failures
@@ -243,7 +271,9 @@ func LossProbability(cfg Config, k, trials int, rng *rand.Rand) (float64, error)
 		}
 		perm := rng.Perm(cfg.Tips)
 		for i := 0; i < k && i < len(perm); i++ {
-			a.FailTip(perm[i])
+			if _, err := a.FailTip(perm[i]); err != nil {
+				return 0, err
+			}
 		}
 		if a.DataLoss() {
 			losses++
@@ -257,20 +287,22 @@ func LossProbability(cfg Config, k, trials int, rng *rand.Rand) (float64, error)
 // DiskSeekErrorPenalty returns the cost in ms of a disk seek error: a
 // short re-seek plus up to a full additional rotation for the sector to
 // come around again. rotFrac ∈ [0,1) selects where in the rotation the
-// retry lands (0.5 = expected case).
-func DiskSeekErrorPenalty(reseekMs, rotationMs, rotFrac float64) float64 {
+// retry lands (0.5 = expected case); values outside the interval return
+// an error.
+func DiskSeekErrorPenalty(reseekMs, rotationMs, rotFrac float64) (float64, error) {
 	if rotFrac < 0 || rotFrac >= 1 {
-		panic(fmt.Sprintf("fault: rotation fraction %g out of [0,1)", rotFrac))
+		return 0, fmt.Errorf("fault: rotation fraction %g out of [0,1)", rotFrac)
 	}
-	return reseekMs + rotFrac*rotationMs
+	return reseekMs + rotFrac*rotationMs, nil
 }
 
 // MEMSSeekErrorPenalty returns the cost in ms of a MEMS seek error: up to
 // two Y turnarounds plus a short repositioning seek — no rotational
 // penalty exists because the sled's motion is fully controlled (§2.4.8).
-func MEMSSeekErrorPenalty(turnaroundMs, shortSeekMs float64, turnarounds int) float64 {
+// A turnaround count outside [0,2] returns an error.
+func MEMSSeekErrorPenalty(turnaroundMs, shortSeekMs float64, turnarounds int) (float64, error) {
 	if turnarounds < 0 || turnarounds > 2 {
-		panic(fmt.Sprintf("fault: turnaround count %d out of [0,2]", turnarounds))
+		return 0, fmt.Errorf("fault: turnaround count %d out of [0,2]", turnarounds)
 	}
-	return float64(turnarounds)*turnaroundMs + shortSeekMs
+	return float64(turnarounds)*turnaroundMs + shortSeekMs, nil
 }

@@ -35,12 +35,23 @@ func TestDefaultConfigDerived(t *testing.T) {
 	}
 }
 
+// failTip fails tip id, aborting the test on an unexpected error, and
+// returns whether the array is still recoverable.
+func failTip(t *testing.T, a *Array, id int) bool {
+	t.Helper()
+	ok, err := a.FailTip(id)
+	if err != nil {
+		t.Fatalf("FailTip(%d): %v", id, err)
+	}
+	return ok
+}
+
 func TestFailTipRemapsToSpare(t *testing.T) {
 	a, err := NewArray(DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.FailTip(100) {
+	if !failTip(t, a, 100) {
 		t.Fatal("first failure with spares available must remain recoverable")
 	}
 	sp, ok := a.RemappedTo(100)
@@ -60,9 +71,9 @@ func TestFailTipRemapsToSpare(t *testing.T) {
 
 func TestFailTipIdempotent(t *testing.T) {
 	a, _ := NewArray(DefaultConfig())
-	a.FailTip(5)
+	failTip(t, a, 5)
 	n := a.SparesLeft()
-	a.FailTip(5)
+	failTip(t, a, 5)
 	if a.SparesLeft() != n {
 		t.Error("re-failing a tip consumed another spare")
 	}
@@ -79,13 +90,13 @@ func TestECCAbsorbsFailuresAfterSparesExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.FailTip(0) || !a.FailTip(1) {
+	if !failTip(t, a, 0) || !failTip(t, a, 1) {
 		t.Fatal("ECC should absorb the first two failures in a stripe")
 	}
 	if a.DegradedStripes() != 1 {
 		t.Errorf("degraded stripes = %d, want 1", a.DegradedStripes())
 	}
-	if a.FailTip(2) {
+	if failTip(t, a, 2) {
 		t.Error("third failure in one stripe must exceed 2 ECC tips")
 	}
 	if !a.DataLoss() {
@@ -98,7 +109,7 @@ func TestFailuresInDifferentStripesIndependent(t *testing.T) {
 	a, _ := NewArray(cfg)
 	// One failure in each of the 10 stripes: all recoverable.
 	for g := 0; g < 10; g++ {
-		if !a.FailTip(g * 65) {
+		if !failTip(t, a, g*65) {
 			t.Fatalf("failure in stripe %d should be recoverable", g)
 		}
 	}
@@ -110,13 +121,13 @@ func TestFailuresInDifferentStripesIndependent(t *testing.T) {
 func TestSpareDeathReexposesFailure(t *testing.T) {
 	cfg := Config{Tips: 661, DataTips: 64, ECCTips: 2, SpareTips: 1}
 	a, _ := NewArray(cfg)
-	a.FailTip(10) // remapped to spare 660
+	failTip(t, a, 10) // remapped to spare 660
 	sp, ok := a.RemappedTo(10)
 	if !ok || sp != 660 {
 		t.Fatalf("remap = %d, %v", sp, ok)
 	}
 	// The spare itself dies: tip 10's failure now burdens its stripe ECC.
-	a.FailTip(660)
+	failTip(t, a, 660)
 	if _, ok := a.RemappedTo(10); ok {
 		t.Error("dead spare still listed as cover")
 	}
@@ -125,10 +136,56 @@ func TestSpareDeathReexposesFailure(t *testing.T) {
 	}
 }
 
+// TestSpareCascadeOrphanThreshold pins the removeSpare cascade edge case:
+// an in-use spare dies while the pool is empty, so the tip it was
+// covering is orphaned back onto its stripe's ECC budget (counted in
+// failedAt), and data loss flips at exactly ECCTips+1 unremapped
+// failures in that stripe.
+func TestSpareCascadeOrphanThreshold(t *testing.T) {
+	cfg := Config{Tips: 661, DataTips: 64, ECCTips: 2, SpareTips: 1}
+	a, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTip(t, a, 10) // consumes the only spare (tip 660)
+	if a.SparesLeft() != 0 {
+		t.Fatalf("spares left = %d, want 0", a.SparesLeft())
+	}
+	// The in-use spare dies with the pool empty: tip 10 is orphaned.
+	if !failTip(t, a, 660) {
+		t.Fatal("one orphaned failure must still be within the 2-tip ECC budget")
+	}
+	if a.UnremappedFailures() != 1 {
+		t.Errorf("unremapped failures = %d, want 1 (the orphan)", a.UnremappedFailures())
+	}
+	if !a.TipDegraded(10) {
+		t.Error("orphaned tip 10 should be degraded")
+	}
+	if a.TipDegraded(660) {
+		t.Error("dead spare holds no data and must not count as degraded")
+	}
+	// ECC absorbs one more failure in the stripe; the next one is loss.
+	if !failTip(t, a, 11) {
+		t.Fatal("second unremapped failure still within ECC budget")
+	}
+	if a.DataLoss() {
+		t.Fatal("data loss before exceeding ECCTips")
+	}
+	if failTip(t, a, 12) {
+		t.Error("third unremapped failure in the stripe must exceed 2 ECC tips")
+	}
+	if !a.DataLoss() {
+		t.Error("DataLoss should flip at ECCTips+1 unremapped failures")
+	}
+	if a.UnremappedFailures() != 3 {
+		t.Errorf("unremapped failures = %d, want 3", a.UnremappedFailures())
+	}
+}
+
 func TestUnusedSpareDeathShrinksPool(t *testing.T) {
 	cfg := Config{Tips: 662, DataTips: 64, ECCTips: 2, SpareTips: 2}
 	a, _ := NewArray(cfg)
-	a.FailTip(661) // an idle spare dies
+	failTip(t, a, 661) // an idle spare dies
 	if a.SparesLeft() != 1 {
 		t.Errorf("spares left = %d, want 1", a.SparesLeft())
 	}
@@ -139,8 +196,12 @@ func TestUnusedSpareDeathShrinksPool(t *testing.T) {
 
 func TestMediaDefectsRecoverable(t *testing.T) {
 	a, _ := NewArray(DefaultConfig())
-	a.MediaDefect(7)
-	a.MediaDefect(8)
+	if err := a.MediaDefect(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MediaDefect(8); err != nil {
+		t.Fatal(err)
+	}
 	if a.Defects() != 2 {
 		t.Errorf("defects = %d", a.Defects())
 	}
@@ -148,8 +209,10 @@ func TestMediaDefectsRecoverable(t *testing.T) {
 		t.Error("media defects must be absorbed by ECC")
 	}
 	// A defect on an already-failed tip is subsumed.
-	a.FailTip(9)
-	a.MediaDefect(9)
+	failTip(t, a, 9)
+	if err := a.MediaDefect(9); err != nil {
+		t.Fatal(err)
+	}
 	if a.Defects() != 2 {
 		t.Error("defect on failed tip double-counted")
 	}
@@ -169,7 +232,7 @@ func TestConvertDataToSpares(t *testing.T) {
 		t.Errorf("spares = %d", a.SparesLeft())
 	}
 	// New failures now remap instead of degrading.
-	if !a.FailTip(0) {
+	if !failTip(t, a, 0) {
 		t.Fatal("failure should remap to converted spare")
 	}
 	if a.DegradedStripes() != 0 {
@@ -177,22 +240,21 @@ func TestConvertDataToSpares(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadTipIDs(t *testing.T) {
+func TestBadTipIDsReturnErrors(t *testing.T) {
 	a, _ := NewArray(DefaultConfig())
-	for _, f := range []func(){
-		func() { a.FailTip(-1) },
-		func() { a.FailTip(6400) },
-		func() { a.MediaDefect(-1) },
-		func() { a.MediaDefect(6400) },
+	for i, f := range []func() error{
+		func() error { _, err := a.FailTip(-1); return err },
+		func() error { _, err := a.FailTip(6400); return err },
+		func() error { return a.MediaDefect(-1) },
+		func() error { return a.MediaDefect(6400) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+		if err := f(); err == nil {
+			t.Errorf("case %d: expected an error for an out-of-range tip", i)
+		}
+	}
+	// A bad id must leave the array untouched.
+	if a.FailedTips() != 0 || a.Defects() != 0 || a.SparesLeft() != DefaultConfig().SpareTips {
+		t.Error("out-of-range tip ids mutated the array")
 	}
 }
 
@@ -267,7 +329,9 @@ func TestArrayNeverLosesWithFewerFailuresThanECC(t *testing.T) {
 		// Two failures anywhere are always recoverable (ECC = 2).
 		ids := rng.Perm(cfg.Tips)[:2]
 		for _, id := range ids {
-			a.FailTip(id)
+			if _, err := a.FailTip(id); err != nil {
+				return false
+			}
 		}
 		return !a.DataLoss()
 	}
@@ -280,29 +344,30 @@ func TestSeekErrorPenalties(t *testing.T) {
 	// Expected disk penalty with mid-rotation retry lands near re-seek +
 	// half rotation; MEMS penalty is turnarounds + short seek, an order
 	// of magnitude lower (§6.1.3).
-	disk := DiskSeekErrorPenalty(1.5, 5.985, 0.5)
+	disk, err := DiskSeekErrorPenalty(1.5, 5.985, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if disk < 4 || disk > 5 {
 		t.Errorf("disk seek-error penalty = %g ms", disk)
 	}
-	mems := MEMSSeekErrorPenalty(0.07, 0.2, 2)
+	mems, err := MEMSSeekErrorPenalty(0.07, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mems < 0.2 || mems > 0.5 {
 		t.Errorf("MEMS seek-error penalty = %g ms", mems)
 	}
 	if mems*5 > disk {
 		t.Errorf("MEMS penalty %g should be far below disk %g", mems, disk)
 	}
-	for _, f := range []func(){
-		func() { DiskSeekErrorPenalty(1, 5, 1.5) },
-		func() { MEMSSeekErrorPenalty(0.07, 0.1, 3) },
-		func() { MEMSSeekErrorPenalty(0.07, 0.1, -1) },
+	for i, f := range []func() error{
+		func() error { _, err := DiskSeekErrorPenalty(1, 5, 1.5); return err },
+		func() error { _, err := MEMSSeekErrorPenalty(0.07, 0.1, 3); return err },
+		func() error { _, err := MEMSSeekErrorPenalty(0.07, 0.1, -1); return err },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+		if err := f(); err == nil {
+			t.Errorf("case %d: expected an error for out-of-range penalty arguments", i)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRS drives the Reed-Solomon codec through randomized geometries,
+// payloads and erasure patterns, checking the two §6.1.2 contracts:
+// encode → erase up to m shards → reconstruct must round-trip every
+// shard exactly, and erasing more than m shards must return an error
+// while leaving the surviving shards untouched — over-erasure may fail
+// loudly, never corrupt silently.
+func FuzzRS(f *testing.F) {
+	f.Add(uint8(4), uint8(2), []byte("the quick brown fox jumps over the lazy dog"), uint64(0b110))
+	f.Add(uint8(64), uint8(2), bytes.Repeat([]byte{0xa5, 0x00, 0xff}, 100), uint64(1<<13|1<<51))
+	f.Add(uint8(1), uint8(0), []byte{7}, uint64(0))
+	f.Add(uint8(30), uint8(4), []byte{}, uint64(0xffff))
+	f.Fuzz(func(t *testing.T, kRaw, mRaw uint8, data []byte, mask uint64) {
+		k := int(kRaw%32) + 1 // 1..32 data shards
+		m := int(mRaw % 5)    // 0..4 parity shards
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := k + m
+		shardLen := len(data)/k + 1
+		if shardLen > 64 {
+			shardLen = 64
+		}
+		shards := make([][]byte, n)
+		for i := range shards {
+			shards[i] = make([]byte, shardLen)
+			if i < k {
+				for off := range shards[i] {
+					if idx := i*shardLen + off; idx < len(data) {
+						shards[i][off] = data[idx]
+					}
+				}
+			}
+		}
+		if err := rs.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		orig := make([][]byte, n)
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+
+		// Erase up to m shards chosen by the fuzzed mask and zero their
+		// contents; reconstruction must restore every byte.
+		present := make([]bool, n)
+		for i := range present {
+			present[i] = true
+		}
+		erased := 0
+		for i := 0; i < n && erased < m; i++ {
+			if mask&(1<<i) != 0 {
+				present[i] = false
+				for off := range shards[i] {
+					shards[i][off] = 0
+				}
+				erased++
+			}
+		}
+		if err := rs.Reconstruct(shards, present); err != nil {
+			t.Fatalf("reconstruct with %d ≤ %d erasures failed: %v", erased, m, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("k=%d m=%d erased=%d: shard %d did not round-trip", k, m, erased, i)
+			}
+		}
+
+		// Over-erase: with m+1 shards gone only k−1 remain, so Reconstruct
+		// must refuse — and must not have touched the survivors.
+		for i := range present {
+			present[i] = i > m
+		}
+		if err := rs.Reconstruct(shards, present); err == nil {
+			t.Fatalf("k=%d m=%d: reconstruct accepted %d erasures", k, m, m+1)
+		}
+		for i := m + 1; i < n; i++ {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("over-erasure corrupted surviving shard %d", i)
+			}
+		}
+	})
+}

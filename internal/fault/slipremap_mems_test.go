@@ -1,0 +1,36 @@
+// External test package: mems now imports fault (for the §6.1.3 penalty
+// model behind core.RecoveryModel), so fault's in-package tests cannot
+// import mems back without a cycle. The MEMS-backed slip-remap test
+// lives here instead.
+package fault_test
+
+import (
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/fault"
+	"memsim/internal/mems"
+)
+
+func TestSlipRemapSlowsSequentialScanOnMEMS(t *testing.T) {
+	// §6.1.1: slipped sectors break sequentiality; the same scan with no
+	// defects must be faster.
+	clean := mems.MustDevice(mems.DefaultConfig())
+	dirty := fault.NewSlipRemap(mems.MustDevice(mems.DefaultConfig()))
+	for i := int64(0); i < 20; i++ {
+		dirty.Remap(i*500+123, clean.Capacity()-1-i)
+	}
+	scan := func(d core.Device) float64 {
+		d.Reset()
+		now := 0.0
+		for lbn := int64(0); lbn < 10000; lbn += 500 {
+			now += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 500}, now)
+		}
+		return now
+	}
+	tClean := scan(clean)
+	tDirty := scan(dirty)
+	if tDirty <= tClean {
+		t.Errorf("slipped scan %.2f ms should be slower than clean %.2f ms", tDirty, tClean)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"memsim/internal/core"
-	"memsim/internal/mems"
 )
 
 // ticker charges 1 ms per access regardless of extent, making piece
@@ -104,28 +103,5 @@ func TestSlipRemapEstimateSinglePieceExact(t *testing.T) {
 	s.Remap(4, 9000)
 	if est := s.EstimateAccess(&core.Request{Op: core.Read, LBN: 0, Blocks: 8}, 0); est != 1 {
 		t.Errorf("multi-piece estimate (lower bound) = %g", est)
-	}
-}
-
-func TestSlipRemapSlowsSequentialScanOnMEMS(t *testing.T) {
-	// §6.1.1: slipped sectors break sequentiality; the same scan with no
-	// defects must be faster.
-	clean := mems.MustDevice(mems.DefaultConfig())
-	dirty := NewSlipRemap(mems.MustDevice(mems.DefaultConfig()))
-	for i := int64(0); i < 20; i++ {
-		dirty.Remap(i*500+123, clean.Capacity()-1-i)
-	}
-	scan := func(d core.Device) float64 {
-		d.Reset()
-		now := 0.0
-		for lbn := int64(0); lbn < 10000; lbn += 500 {
-			now += d.Access(&core.Request{Op: core.Read, LBN: lbn, Blocks: 500}, now)
-		}
-		return now
-	}
-	tClean := scan(clean)
-	tDirty := scan(dirty)
-	if tDirty <= tClean {
-		t.Errorf("slipped scan %.2f ms should be slower than clean %.2f ms", tDirty, tClean)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memsim/internal/core"
+	"memsim/internal/fault"
 	"memsim/internal/physics"
 )
 
@@ -166,6 +167,31 @@ func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
 		remaining -= n
 	}
 	return bd, st
+}
+
+// ErrorPenalty implements core.RecoveryModel with the §6.1.3 MEMS
+// model: recovering from a transient positioning error costs one or two
+// Y turnarounds (u < 0.5 selects one, the expected case) plus a short
+// repositioning seek — and nothing more, because the sled's motion is
+// fully controlled: there is no free-running rotation to re-miss
+// (§2.4.8). The turnaround is priced at the sled's current position and
+// velocity, the short seek as a single-cylinder X move.
+func (d *Device) ErrorPenalty(_ *core.Request, _ float64, u float64) float64 {
+	turnarounds := 1
+	if u >= 0.5 {
+		turnarounds = 2
+	}
+	ta := d.Turnaround(d.st.yB, d.st.vdir)
+	to := d.st.cyl + 1
+	if to >= d.geo.Cylinders {
+		to = d.st.cyl - 1
+	}
+	pen, err := fault.MEMSSeekErrorPenalty(ta, d.SeekX(d.st.cyl, to), turnarounds)
+	if err != nil {
+		// Unreachable: turnarounds ∈ {1,2} by construction.
+		panic(err)
+	}
+	return pen
 }
 
 // SeekX returns the X-dimension seek time in ms between two cylinders

@@ -73,6 +73,18 @@ func (f *FCFS) Next(core.Device, float64) *core.Request {
 	return r
 }
 
+// Requeue implements core.Requeuer: a request retried after a failed
+// service visit goes back to the head of the queue, ahead of fresh
+// arrivals — it already waited its turn once. The position-aware
+// schedulers (SSTF_LBN, C-LOOK, SPTF) need no such method: they rescan
+// the whole queue at every dispatch, so a retried request competes on
+// position like any other and plain Add suffices.
+func (f *FCFS) Requeue(r *core.Request) {
+	f.q = append(f.q, nil)
+	copy(f.q[1:], f.q)
+	f.q[0] = r
+}
+
 // lastLBN tracks the block following the most recently dispatched request,
 // the reference point for LBN-distance algorithms.
 type lastLBN struct {

@@ -53,6 +53,29 @@ func TestFCFSOrder(t *testing.T) {
 	}
 }
 
+func TestFCFSRequeueGoesToFront(t *testing.T) {
+	// A request retried after a failed service visit keeps its place at
+	// the head of the arrival order (core.Requeuer).
+	s := NewFCFS()
+	for _, lbn := range []int64{5, 1, 9} {
+		s.Add(req(lbn))
+	}
+	first := s.Next(nil, 0)
+	s.Requeue(first)
+	var got []int64
+	for s.Len() > 0 {
+		got = append(got, s.Next(nil, 0).LBN)
+	}
+	want := []int64{5, 1, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-requeue order = %v, want %v", got, want)
+		}
+	}
+	// The interface assertion the simulator relies on.
+	var _ core.Requeuer = s
+}
+
 func TestFCFSEmpty(t *testing.T) {
 	for _, s := range []core.Scheduler{NewFCFS(), NewSSTF(), NewCLOOK(), NewSPTF()} {
 		if r := s.Next(nil, 0); r != nil {

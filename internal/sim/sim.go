@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"memsim/internal/core"
+	"memsim/internal/fault"
 	"memsim/internal/stats"
 	"memsim/internal/workload"
 )
@@ -59,6 +60,14 @@ type Options struct {
 	// OnComplete, when non-nil, observes every completed request
 	// (including warmup ones).
 	OnComplete func(*core.Request)
+	// Injector, when non-nil, drives deterministic fault injection through
+	// the run (Run and RunClosed): transient positioning errors recovered
+	// by bounded device-level retry at the §6.1.3 penalty, scheduled tip
+	// failures evolving the redundancy array mid-run, and
+	// ECC-reconstruction surcharges on degraded-stripe reads. The injector
+	// is Reset alongside the device and scheduler. A zero-rate, event-free
+	// injector reproduces the no-injector run byte for byte.
+	Injector *fault.Injector
 }
 
 // Result summarizes a run. Response time (queue + service) and its
@@ -79,6 +88,30 @@ type Result struct {
 	Busy float64
 	// Elapsed is the completion time of the last request in ms.
 	Elapsed float64
+
+	// The fault-injection counters below cover the entire run, warmup
+	// included — they describe the run's fault activity, not the measured
+	// window — and stay zero without an injector. Failed requests are
+	// excluded from Requests and the Response/Service statistics, so the
+	// paper's metrics keep their meaning under injection.
+
+	// Retries is the number of transient-error retries charged.
+	Retries int
+	// Recovered is the number of requests that suffered at least one
+	// transient error but still completed successfully.
+	Recovered int
+	// FailedRequests is the number of requests that exhausted every retry
+	// and requeue and completed in error.
+	FailedRequests int
+	// DegradedReads is the number of reads that paid ECC reconstruction
+	// for sectors on a degraded stripe.
+	DegradedReads int
+	// Requeues is the number of scheduler requeues after failed service
+	// visits.
+	Requeues int
+	// RecoveryMs is the total added recovery time in ms (retry penalties
+	// plus ECC surcharges).
+	RecoveryMs float64
 }
 
 // Utilization returns the fraction of elapsed time the device was busy.
@@ -95,12 +128,92 @@ func (r *Result) String() string {
 		r.Requests, r.Response.Mean(), r.Response.SquaredCV(), r.Service.Mean(), r.Utilization()*100)
 }
 
+// serveOne runs one service visit for r on d at time now, applying fault
+// injection when inj is non-nil: scheduled tip events fire first, then
+// transient positioning errors are retried inline — each charged the
+// device's §6.1.3 recovery penalty — up to the injector's per-visit
+// budget, and surviving degraded-stripe reads pay ECC reconstruction. It
+// returns the visit's total device time and whether the request must go
+// back to the scheduler for another visit.
+func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, res *Result) (svc float64, requeue bool) {
+	if inj == nil {
+		return d.Access(r, now), false
+	}
+	inj.Advance(now)
+	svc = d.Access(r, now)
+	retries := 0
+	for inj.TransientError() {
+		if retries >= inj.MaxRetries() {
+			// The visit failed: requeue while budget remains, else the
+			// request completes in error.
+			if r.Requeues < inj.MaxRequeues() {
+				r.Requeues++
+				res.Requeues++
+				return svc, true
+			}
+			r.Failed = true
+			return svc, false
+		}
+		pen := inj.FallbackPenaltyMs()
+		if rm, ok := d.(core.RecoveryModel); ok {
+			pen = rm.ErrorPenalty(r, now+svc, inj.Draw())
+		}
+		retries++
+		r.Retries++
+		r.RecoveryMs += pen
+		res.Retries++
+		res.RecoveryMs += pen
+		svc += pen
+	}
+	if r.Op == core.Read {
+		if n := inj.DegradedBlocks(r.LBN, r.Blocks); n > 0 {
+			sur := float64(n) * inj.ECCSurchargeMs()
+			r.Degraded = true
+			r.RecoveryMs += sur
+			res.RecoveryMs += sur
+			svc += sur
+		}
+	}
+	return svc, false
+}
+
+// requeue returns r to the scheduler after a failed service visit,
+// preferring the scheduler's Requeue method (retried requests keep their
+// place) over a plain Add.
+func requeue(s core.Scheduler, r *core.Request) {
+	if rq, ok := s.(core.Requeuer); ok {
+		rq.Requeue(r)
+		return
+	}
+	s.Add(r)
+}
+
+// classify tallies a finished request's fault outcome.
+func classify(r *core.Request, res *Result) {
+	if r.Failed {
+		res.FailedRequests++
+	} else if r.Retries > 0 {
+		res.Recovered++
+	}
+	if r.Degraded {
+		res.DegradedReads++
+	}
+}
+
 // Run executes an open-arrival simulation: requests arrive at their
 // source-assigned times, queue in s, and are serviced by d. The device
-// and scheduler are Reset before the run.
+// and scheduler (and injector, if any) are Reset before the run. Under
+// fault injection a request whose service visit exhausts its retry
+// budget is requeued and serviced again later; past its requeue budget
+// it completes as failed, excluded from the response statistics but
+// counted in Result.FailedRequests.
 func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opts Options) Result {
 	d.Reset()
 	s.Reset()
+	inj := opts.Injector
+	if inj != nil {
+		inj.Reset()
+	}
 	var res Result
 	now := 0.0
 	next := src.Next()
@@ -124,20 +237,29 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 		}
 		qlen := s.Len()
 		r := s.Next(d, now)
-		r.Start = now
-		svc := d.Access(r, now)
-		r.Finish = now + svc
-		now = r.Finish
+		if r.Requeues == 0 {
+			r.Start = now
+		}
+		svc, again := serveOne(d, r, now, inj, &res)
+		now += svc
 		res.Busy += svc
+		if again {
+			requeue(s, r)
+			continue
+		}
+		r.Finish = now
 		completed++
 		ctx.progress(completed, now)
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
-		if completed > opts.Warmup {
+		if inj != nil {
+			classify(r, &res)
+		}
+		if completed > opts.Warmup && !r.Failed {
 			res.Requests++
 			res.Response.Add(r.ResponseTime())
-			res.Service.Add(svc)
+			res.Service.Add(r.ServiceTime())
 			res.QueueLen.Add(float64(qlen))
 			if qlen > res.MaxQueue {
 				res.MaxQueue = qlen
@@ -154,6 +276,10 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 // service times.
 func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) Result {
 	d.Reset()
+	inj := opts.Injector
+	if inj != nil {
+		inj.Reset()
+	}
 	var res Result
 	now := 0.0
 	completed := 0
@@ -163,19 +289,31 @@ func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) R
 		}
 		r.Arrival = now
 		r.Start = now
-		svc := d.Access(r, now)
-		r.Finish = now + svc
-		now = r.Finish
-		res.Busy += svc
+		// With no queue to return to, a failed visit re-services the
+		// request immediately, spending the requeue budget in place.
+		total := 0.0
+		for {
+			svc, again := serveOne(d, r, now, inj, &res)
+			now += svc
+			total += svc
+			res.Busy += svc
+			if !again {
+				break
+			}
+		}
+		r.Finish = now
 		completed++
 		ctx.progress(completed, now)
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
-		if completed > opts.Warmup {
+		if inj != nil {
+			classify(r, &res)
+		}
+		if completed > opts.Warmup && !r.Failed {
 			res.Requests++
-			res.Response.Add(svc)
-			res.Service.Add(svc)
+			res.Response.Add(total)
+			res.Service.Add(total)
 		}
 	}
 	res.Elapsed = now

@@ -81,7 +81,7 @@ func TestFacadePower(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("experiment IDs: %v", ids)
 	}
 	tables, err := RunExperiment("table1", QuickExperimentParams())
