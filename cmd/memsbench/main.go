@@ -12,6 +12,8 @@
 //	memsbench -list               # list artifact IDs
 //	memsbench -run faultinject -fault-rate 0.02
 //	                              # fault injection with an extra error rate
+//	memsbench -run phases -trace run.jsonl
+//	                              # request-lifecycle JSONL alongside the tables
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault, faultinject and power (DESIGN.md §2).
@@ -31,6 +33,7 @@ import (
 
 	"memsim/internal/experiments"
 	"memsim/internal/runner"
+	"memsim/internal/sim"
 )
 
 func main() {
@@ -46,6 +49,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "report per-job completions to stderr")
 		faultRate = flag.Float64("fault-rate", 0, "extra transient-error rate for the faultinject sweep, in [0,1)")
 		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
+		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 	)
 	flag.Parse()
 
@@ -77,6 +81,23 @@ func main() {
 	}
 
 	ctx := &runner.Context{Workers: *parallel}
+	var (
+		traceFile  *os.File
+		traceProbe *sim.JSONLProbe
+	)
+	if *tracePath != "" {
+		f, err := openTrace(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "memsbench: -trace forces -parallel 1 for deterministic event order")
+		}
+		traceProbe = sim.NewJSONLProbe(traceFile)
+		ctx.Workers = 1
+		ctx.Probe = traceProbe
+	}
 	if *progress {
 		ctx.Progress = func(ev runner.Event) {
 			if ev.Err != nil {
@@ -92,6 +113,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memsbench:", err)
 		os.Exit(1)
+	}
+	if traceProbe != nil {
+		if err := traceProbe.Flush(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *tracePath, err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("closing %s: %w", *tracePath, err))
+		}
+		fmt.Fprintf(os.Stderr, "memsbench: wrote lifecycle trace to %s\n", *tracePath)
 	}
 	if *progress {
 		simTotal := sum.Sim.Mean() * float64(sum.Sim.N())
@@ -128,6 +158,19 @@ func writeCSV(t experiments.Table, out string) {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
+}
+
+// openTrace validates and creates the -trace output file, turning an
+// unwritable path into a clean error instead of a mid-run failure.
+func openTrace(path string) (*os.File, error) {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return nil, fmt.Errorf("-trace %s: is a directory", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-trace %s: %w", path, err)
+	}
+	return f, nil
 }
 
 func fatal(err error) {

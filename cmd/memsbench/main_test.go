@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpenTraceRejectsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := openTrace(dir); err == nil || !strings.Contains(err.Error(), "is a directory") {
+		t.Errorf("openTrace(%q) = %v, want directory error", dir, err)
+	}
+}
+
+func TestOpenTraceRejectsUnwritablePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")
+	if _, err := openTrace(path); err == nil {
+		t.Errorf("openTrace(%q) succeeded on a missing parent", path)
+	} else if !strings.Contains(err.Error(), "-trace") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+}
+
+func TestOpenTraceCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	f, err := openTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("trace file not created: %v", err)
+	}
+}

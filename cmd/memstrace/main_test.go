@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewDeviceValidation(t *testing.T) {
+	for _, name := range []string{"mems", "disk"} {
+		if _, err := newDevice(name); err != nil {
+			t.Errorf("newDevice(%q) = %v", name, err)
+		}
+	}
+	if _, err := newDevice("floppy"); err == nil || !strings.Contains(err.Error(), "floppy") {
+		t.Errorf("newDevice(floppy) = %v, want error naming the device", err)
+	}
+}
+
+func TestOpenOutValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := openOut(dir); err == nil || !strings.Contains(err.Error(), "is a directory") {
+		t.Errorf("openOut(%q) = %v, want directory error", dir, err)
+	}
+	if _, _, err := openOut(filepath.Join(dir, "missing", "out.jsonl")); err == nil {
+		t.Error("openOut succeeded on a missing parent directory")
+	}
+	w, closeOut, err := openOut("")
+	if err != nil || w != os.Stdout {
+		t.Errorf("openOut(\"\") = %v, %v; want stdout", w, err)
+	}
+	if err := closeOut(); err != nil {
+		t.Errorf("stdout closer = %v", err)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	// Errors must surface before any simulation work: bad scheduler, bad
+	// device, unreadable trace, oversized trace.
+	tr := filepath.Join(t.TempDir(), "t.txt")
+	if err := os.WriteFile(tr, []byte("0.0 r 10 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(tr, "mems", "ELEVATOR", 1, 0, ""); err == nil || !strings.Contains(err.Error(), "ELEVATOR") {
+		t.Errorf("bad scheduler: %v", err)
+	}
+	if err := replay(tr, "zip", "FCFS", 1, 0, ""); err == nil {
+		t.Error("bad device accepted")
+	}
+	if err := replay(filepath.Join(t.TempDir(), "missing.txt"), "mems", "FCFS", 1, 0, ""); err == nil {
+		t.Error("missing trace accepted")
+	}
+	// An LBN beyond the device's capacity fails validation cleanly.
+	big := filepath.Join(t.TempDir(), "big.txt")
+	if err := os.WriteFile(big, []byte("0.0 r 99999999999 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(big, "mems", "FCFS", 1, 0, ""); err == nil || !strings.Contains(err.Error(), "does not fit") {
+		t.Errorf("oversized trace: %v", err)
+	}
+}
+
+func TestReplaySmoke(t *testing.T) {
+	// A well-formed two-record trace replays end to end into a JSONL file.
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(tr, []byte("0.0 r 10 8\n5.0 w 5000 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.jsonl")
+	if err := replay(tr, "mems", "SPTF", 1, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 8 { // 2 requests × (arrive, dispatch, service, complete)
+		t.Errorf("JSONL lines = %d, want 8\n%s", lines, data)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// Breakdown decomposes one device access into the paper's service phases
+// (§4–§5): positioning — seek, settle/rotational latency, turnarounds —
+// against media transfer, plus fixed command overhead and any fault
+// -recovery surcharge. All times are milliseconds. Every device model
+// reports the same type, which is what lets the simulator compare
+// *why* the devices differ, not just their totals:
+//
+//   - MEMS: Seek is the dominant (unoverlapped) axis seek per segment,
+//     Settle the post-seek oscillation damping when the X path dominates;
+//     turnarounds during normal access are folded into the Y seek, so
+//     Turnaround is charged only by the recovery path.
+//   - Disk: Seek is the cylinder seek, Settle the rotational latency plus
+//     any write settle (the "rotate" in settle/rotate), Turnaround the
+//     head-switch time.
+//
+// Recovery is filled by the fault-injection layer (retry penalties and
+// ECC-reconstruction surcharges), never by the device itself.
+type Breakdown struct {
+	// Seek is the unoverlapped positioning seek time.
+	Seek float64
+	// Settle is the settle (MEMS) or rotational-latency + write-settle
+	// (disk) time.
+	Settle float64
+	// Turnaround is the direction-reversal (MEMS recovery) or head-switch
+	// (disk) time.
+	Turnaround float64
+	// Transfer is the media transfer time.
+	Transfer float64
+	// Overhead is the fixed per-request command overhead.
+	Overhead float64
+	// Recovery is the fault-recovery surcharge (device retries and ECC
+	// reconstruction), charged by the simulation layer.
+	Recovery float64
+
+	// SeekX and SeekY are informational axis components for devices with
+	// decoupled positioning axes (the MEMS sled): total X time including
+	// settle, and total Y seek time. The axes overlap in real time —
+	// per segment the lesser is hidden by the greater — so they are not
+	// part of the phase sum.
+	SeekX, SeekY float64
+
+	// Segments is the number of track spans touched.
+	Segments int
+
+	// ServiceMs is the exact service time, accumulated in the device
+	// model's native operation order; it is what Access returned. The
+	// phase fields sum to ServiceMs only up to floating-point
+	// re-association (within ~1e-12 per access); use PhaseSum to check.
+	ServiceMs float64
+}
+
+// Positioning returns the summed positioning phases (seek + settle +
+// turnaround), the quantity the paper plots against transfer (§4.1).
+func (b Breakdown) Positioning() float64 { return b.Seek + b.Settle + b.Turnaround }
+
+// PhaseSum returns the sum of every phase. It reconciles with ServiceMs
+// to within accumulated floating-point error for devices that fully
+// decompose their service; the difference is the unattributed residue.
+func (b Breakdown) PhaseSum() float64 {
+	return b.Seek + b.Settle + b.Turnaround + b.Transfer + b.Overhead + b.Recovery
+}
+
+// Unattributed returns the service time not covered by any phase:
+// ~±1e-12 rounding for fully-decomposed devices, the whole wrapper
+// surcharge for devices that report only totals.
+func (b Breakdown) Unattributed() float64 { return b.ServiceMs - b.PhaseSum() }
+
+// Total returns the access service time (alias for ServiceMs, kept for
+// symmetry with the historical MEMS-only breakdown type).
+func (b Breakdown) Total() float64 { return b.ServiceMs }
+
+// Accumulate folds another breakdown into b, phase by phase; request
+// -level accounting sums its service visits this way.
+func (b *Breakdown) Accumulate(o Breakdown) {
+	b.Seek += o.Seek
+	b.Settle += o.Settle
+	b.Turnaround += o.Turnaround
+	b.Transfer += o.Transfer
+	b.Overhead += o.Overhead
+	b.Recovery += o.Recovery
+	b.SeekX += o.SeekX
+	b.SeekY += o.SeekY
+	b.Segments += o.Segments
+	b.ServiceMs += o.ServiceMs
+}
+
+// BreakdownReporter is implemented by device models that can report the
+// per-phase decomposition of their most recent Access. The second return
+// is false when no decomposition is available (nothing accessed yet, or
+// a wrapper whose inner device does not decompose).
+//
+// The simulator consults the reporter only when a Probe is attached, so
+// devices may maintain the breakdown unconditionally (it is a handful of
+// float stores per access) without violating the zero-cost-when
+// -unobserved discipline.
+type BreakdownReporter interface {
+	LastBreakdown() (Breakdown, bool)
+}

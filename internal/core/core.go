@@ -66,6 +66,12 @@ type Request struct {
 	// Failed marks a request that exhausted every retry and requeue and
 	// completed in error.
 	Failed bool
+
+	// Phases accumulates the per-phase service breakdown across the
+	// request's service visits (device time only; queue wait is not a
+	// phase). The simulator fills it only when the run carries a
+	// sim.Probe; without one it stays zero and the request is untouched.
+	Phases Breakdown
 }
 
 // ResponseTime returns queue time plus service time, the paper's primary

@@ -65,3 +65,12 @@ func (m *ManagedDevice) Access(req *Request, now float64) float64 {
 func (m *ManagedDevice) EstimateAccess(req *Request, now float64) float64 {
 	return m.inner.EstimateAccess(m.remap(req), now)
 }
+
+// LastBreakdown implements BreakdownReporter by delegation: remapping
+// changes where a request lands, not how its service decomposes.
+func (m *ManagedDevice) LastBreakdown() (Breakdown, bool) {
+	if br, ok := m.inner.(BreakdownReporter); ok {
+		return br.LastBreakdown()
+	}
+	return Breakdown{}, false
+}

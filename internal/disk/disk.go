@@ -92,9 +92,15 @@ type Device struct {
 
 	// mechanical state: rotation is implied by absolute time.
 	cyl, head int
+
+	last    core.Breakdown
+	hasLast bool
 }
 
-var _ core.Device = (*Device)(nil)
+var (
+	_ core.Device            = (*Device)(nil)
+	_ core.BreakdownReporter = (*Device)(nil)
+)
 
 // NewDevice validates cfg and builds the drive model.
 func NewDevice(cfg Config) (*Device, error) {
@@ -189,7 +195,10 @@ func (d *Device) Capacity() int64 { return d.total }
 func (d *Device) SectorSize() int { return d.cfg.SectorSize }
 
 // Reset implements core.Device: heads park over the middle cylinder.
-func (d *Device) Reset() { d.cyl, d.head = d.cfg.Cylinders/2, 0 }
+func (d *Device) Reset() {
+	d.cyl, d.head = d.cfg.Cylinders/2, 0
+	d.last, d.hasLast = core.Breakdown{}, false
+}
 
 // RotationPeriod returns the time of one revolution in ms.
 func (d *Device) RotationPeriod() float64 { return d.period }
@@ -257,20 +266,41 @@ func (d *Device) rotFrac(now float64) float64 {
 
 // Access implements core.Device.
 func (d *Device) Access(req *core.Request, now float64) float64 {
-	t, cyl, head := d.access(req, now)
+	bd, cyl, head := d.access(req, now)
 	d.cyl, d.head = cyl, head
-	return t - now
+	d.last, d.hasLast = bd, true
+	return bd.ServiceMs
 }
 
 // EstimateAccess implements core.Device.
 func (d *Device) EstimateAccess(req *core.Request, now float64) float64 {
-	t, _, _ := d.access(req, now)
-	return t - now
+	bd, _, _ := d.access(req, now)
+	return bd.ServiceMs
 }
 
-// access walks the request's track segments and returns the completion
-// time plus the final head position.
-func (d *Device) access(req *core.Request, now float64) (done float64, cyl, head int) {
+// LastBreakdown implements core.BreakdownReporter: the phase
+// decomposition of the most recent Access.
+func (d *Device) LastBreakdown() (core.Breakdown, bool) { return d.last, d.hasLast }
+
+// Detail returns the breakdown Access would produce for req at time now,
+// without changing state.
+func (d *Device) Detail(req *core.Request, now float64) core.Breakdown {
+	bd, _, _ := d.access(req, now)
+	return bd
+}
+
+// access walks the request's track segments and returns the phase
+// breakdown plus the final head position. The completion time `t`
+// accumulates in the model's historical operation order (rotational
+// latency is a function of the running time), so ServiceMs is
+// bit-identical to the pre-decomposition model; the phase fields record
+// the same component values and reconcile with ServiceMs up to
+// floating-point re-association.
+//
+// Attribution: Seek is the cylinder seek, Settle the write settle plus
+// rotational latency (the "rotate" of settle/rotate), Turnaround the
+// head-switch time.
+func (d *Device) access(req *core.Request, now float64) (bd core.Breakdown, cyl, head int) {
 	if req.Blocks <= 0 {
 		panic(fmt.Sprintf("disk: request with %d blocks", req.Blocks))
 	}
@@ -278,6 +308,7 @@ func (d *Device) access(req *core.Request, now float64) (done float64, cyl, head
 		panic(fmt.Sprintf("disk: request [%d,%d) outside device capacity %d",
 			req.LBN, req.LBN+int64(req.Blocks), d.total))
 	}
+	bd.Overhead = d.cfg.Overhead
 	t := now + d.cfg.Overhead
 	cyl, head = d.cyl, d.head
 	lbn := req.LBN
@@ -293,12 +324,16 @@ func (d *Device) access(req *core.Request, now float64) (done float64, cyl, head
 		// pure head switch costs HeadSwitch.
 		switch {
 		case c != cyl:
-			t += d.SeekTime(abs(c - cyl))
+			seek := d.SeekTime(abs(c - cyl))
+			t += seek
+			bd.Seek += seek
 			if req.Op == core.Write {
 				t += d.cfg.WriteSettle
+				bd.Settle += d.cfg.WriteSettle
 			}
 		case h != head:
 			t += d.cfg.HeadSwitch
+			bd.Turnaround += d.cfg.HeadSwitch
 		}
 		// Rotational latency until the first sector arrives.
 		start := d.angleOf(z, c, h, s)
@@ -306,14 +341,20 @@ func (d *Device) access(req *core.Request, now float64) (done float64, cyl, head
 		if lat < 0 {
 			lat += 1
 		}
-		t += lat * d.period
+		rot := lat * d.period
+		t += rot
+		bd.Settle += rot
 		// Media transfer.
-		t += float64(n) * d.period / float64(z.spt)
+		xfer := float64(n) * d.period / float64(z.spt)
+		t += xfer
+		bd.Transfer += xfer
+		bd.Segments++
 		cyl, head = c, h
 		lbn += int64(n)
 		remaining -= n
 	}
-	return t, cyl, head
+	bd.ServiceMs = t - now
+	return bd, cyl, head
 }
 
 // ErrorPenalty implements core.RecoveryModel with the §6.1.3 disk

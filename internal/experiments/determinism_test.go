@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"memsim/internal/runner"
+	"memsim/internal/sim"
 )
 
 // renderAll renders every table of every result set as CSV — the bytes
@@ -77,6 +78,38 @@ func TestRunManyUnknownID(t *testing.T) {
 	_, _, err := RunMany(runner.Sequential(), []string{"fig99"}, tiny())
 	if err == nil {
 		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestProbedOutputMatchesUnprobed extends the byte-identity contract to
+// the lifecycle probe: attaching a trace probe through the runner context
+// (as memsbench -trace does) must not change a single byte of the
+// rendered artifacts, including on the fault-injection path.
+func TestProbedOutputMatchesUnprobed(t *testing.T) {
+	p := Params{Requests: 600, Warmup: 60, ClosedRequests: 300, Trials: 60, Seed: 5, FaultRate: 0.02}
+	ids := []string{"fig6", "phases", "faultinject"}
+
+	plain, _, err := RunMany(runner.Sequential(), ids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	jp := sim.NewJSONLProbe(&trace)
+	probed, _, err := RunMany(&runner.Context{Workers: 1, Probe: jp}, ids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() == 0 {
+		t.Error("trace probe observed nothing")
+	}
+	for i, id := range ids {
+		a, b := renderAll([][]Table{plain[i]}), renderAll([][]Table{probed[i]})
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: probed output diverged from unprobed\n--- plain ---\n%s--- probed ---\n%s", id, a, b)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"aging", "bus", "cache", "fault", "faultinject", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "generations", "power", "raid", "remap", "seekprofile", "shuffle", "startup", "striping", "table1", "table2"}
+	want := []string{"aging", "bus", "cache", "fault", "faultinject", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "generations", "phases", "power", "raid", "remap", "seekprofile", "shuffle", "startup", "striping", "table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v, want %v", ids, want)
 	}
@@ -385,6 +386,47 @@ func TestRunAllProducesEveryArtifact(t *testing.T) {
 		"seekprofile-mems", "seekprofile-disk"} {
 		if !seen[id] {
 			t.Errorf("missing artifact %s", id)
+		}
+	}
+}
+
+func TestPhasesShape(t *testing.T) {
+	ts := Phases(tiny())
+	if len(ts) != 2 || ts[0].ID != "phasesa" || ts[1].ID != "phasesb" {
+		t.Fatalf("unexpected tables %v", ts)
+	}
+	a, b := ts[0], ts[1]
+	if len(a.Rows) != 8 || len(b.Rows) != 8 { // 2 devices × 4 schedulers
+		t.Fatalf("rows = %d/%d, want 8/8", len(a.Rows), len(b.Rows))
+	}
+	for i, row := range a.Rows {
+		// Columns: device, sched, seek, settle/rot, turnarnd, transfer,
+		// overhead, position, service. Position and service must reconcile
+		// with their parts up to the 3-decimal rendering.
+		seek, settle, turn := cell(t, row[2]), cell(t, row[3]), cell(t, row[4])
+		xfer, ovh, pos, svc := cell(t, row[5]), cell(t, row[6]), cell(t, row[7]), cell(t, row[8])
+		if math.Abs(pos-(seek+settle+turn)) > 0.003 {
+			t.Errorf("row %d: position %g != seek+settle+turnaround %g", i, pos, seek+settle+turn)
+		}
+		if math.Abs(svc-(pos+xfer+ovh)) > 0.003 {
+			t.Errorf("row %d: service %g != position+transfer+overhead %g", i, svc, pos+xfer+ovh)
+		}
+	}
+	// The paper's decomposition argument: MEMS service is several times
+	// smaller than disk service, and positioning dominates the disk far
+	// more than the MEMS device (pos share, last column of panel b).
+	memsSvc, diskSvc := cell(t, a.Rows[0][8]), cell(t, a.Rows[4][8])
+	if diskSvc < 5*memsSvc {
+		t.Errorf("disk service %g not ≫ MEMS %g", diskSvc, memsSvc)
+	}
+	memsShare, diskShare := cell(t, b.Rows[0][6]), cell(t, b.Rows[4][6])
+	if !(memsShare > 0 && memsShare < 1 && diskShare > memsShare) {
+		t.Errorf("pos shares mems=%g disk=%g", memsShare, diskShare)
+	}
+	// Tails are ordered: p95 ≤ p99 for both positioning and service.
+	for i, row := range b.Rows {
+		if cell(t, row[2]) > cell(t, row[3]) || cell(t, row[4]) > cell(t, row[5]) {
+			t.Errorf("row %d: percentile inversion %v", i, row)
 		}
 	}
 }

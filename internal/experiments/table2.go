@@ -72,5 +72,5 @@ func memsRMW(blocks int) (read, reposition, write float64) {
 	d.Access(r, 0)
 	wr := &core.Request{Op: core.Write, LBN: lbn, Blocks: blocks}
 	det := d.Detail(wr)
-	return read, det.Positioning, det.Transfer
+	return read, det.Positioning(), det.Transfer
 }

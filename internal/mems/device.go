@@ -22,9 +22,15 @@ type Device struct {
 	geo  *Geometry
 	sled *physics.Sled
 	st   state
+
+	last    core.Breakdown
+	hasLast bool
 }
 
-var _ core.Device = (*Device)(nil)
+var (
+	_ core.Device            = (*Device)(nil)
+	_ core.BreakdownReporter = (*Device)(nil)
+)
 
 // NewDevice builds a device from cfg, validating the geometry.
 func NewDevice(cfg Config) (*Device, error) {
@@ -63,24 +69,7 @@ func (d *Device) SectorSize() int { return d.geo.SectorSize }
 // Reset implements core.Device: the sled parks at the center, at rest.
 func (d *Device) Reset() {
 	d.st = state{cyl: d.geo.Cylinders / 2, yB: float64(d.geo.BitsY) / 2, vdir: 0}
-}
-
-// Breakdown decomposes one access into its mechanical components. All
-// times are milliseconds. Positioning is the sum over segments of
-// max(X seek + settle, Y seek) — the axes proceed in parallel (§2.4.1),
-// so the lesser is hidden by the greater.
-type Breakdown struct {
-	Positioning float64 // total positioning time across segments
-	SeekX       float64 // unoverlapped X component (incl. settle), informational
-	SeekY       float64 // unoverlapped Y component, informational
-	Transfer    float64 // media transfer time
-	Overhead    float64 // fixed command overhead
-	Segments    int     // number of track spans touched
-}
-
-// Total returns the access service time.
-func (b Breakdown) Total() float64 {
-	return b.Positioning + b.Transfer + b.Overhead
+	d.last, d.hasLast = core.Breakdown{}, false
 }
 
 // Access implements core.Device. The now parameter is unused: unlike a
@@ -89,18 +78,23 @@ func (b Breakdown) Total() float64 {
 func (d *Device) Access(req *core.Request, _ float64) float64 {
 	bd, ns := d.access(d.st, req)
 	d.st = ns
-	return bd.Total()
+	d.last, d.hasLast = bd, true
+	return bd.ServiceMs
 }
 
 // EstimateAccess implements core.Device.
 func (d *Device) EstimateAccess(req *core.Request, _ float64) float64 {
 	bd, _ := d.access(d.st, req)
-	return bd.Total()
+	return bd.ServiceMs
 }
+
+// LastBreakdown implements core.BreakdownReporter: the phase
+// decomposition of the most recent Access.
+func (d *Device) LastBreakdown() (core.Breakdown, bool) { return d.last, d.hasLast }
 
 // Detail returns the mechanical breakdown Access would produce for req
 // from the current state, without changing state.
-func (d *Device) Detail(req *core.Request) Breakdown {
+func (d *Device) Detail(req *core.Request) core.Breakdown {
 	bd, _ := d.access(d.st, req)
 	return bd
 }
@@ -110,7 +104,16 @@ func (d *Device) Detail(req *core.Request) Breakdown {
 // direction positions faster — tips access the media in the ±Y direction
 // (§2.2, Fig. 3), which is also what lets read-modify-write sequences pay
 // only a turnaround (§6.2).
-func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
+//
+// Phase attribution: per segment the positioning time is
+// max(X seek + settle, Y seek) — the axes proceed in parallel (§2.4.1),
+// so the lesser is hidden by the greater. When the X path dominates, the
+// segment charges Seek (the raw X seek) and Settle; when the Y path
+// dominates it charges only Seek (Y seeks have no settle and fold any
+// turnaround into the spring-limited trajectory). ServiceMs accumulates
+// in the historical operation order, so totals are bit-identical to the
+// pre-decomposition model.
+func (d *Device) access(st state, req *core.Request) (core.Breakdown, state) {
 	g := d.geo
 	if req.Blocks <= 0 {
 		panic(fmt.Sprintf("mems: request with %d blocks", req.Blocks))
@@ -119,7 +122,8 @@ func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
 		panic(fmt.Sprintf("mems: request [%d,%d) outside device capacity %d",
 			req.LBN, req.LBN+int64(req.Blocks), g.TotalSectors))
 	}
-	bd := Breakdown{Overhead: g.Overhead}
+	bd := core.Breakdown{Overhead: g.Overhead}
+	positioning := 0.0
 	lbn := req.LBN
 	remaining := req.Blocks
 	for remaining > 0 {
@@ -136,9 +140,10 @@ func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
 
 		tb := float64(g.TipSectorBits)
 		// X positioning (with settle) happens once per cylinder change.
-		tx := 0.0
+		tx, xs := 0.0, 0.0
 		if cyl != st.cyl {
-			tx = d.sled.SeekTime(g.XPos(st.cyl), 0, g.XPos(cyl), 0)*1e3 + g.SettleMs
+			xs = d.sled.SeekTime(g.XPos(st.cyl), 0, g.XPos(cyl), 0) * 1e3
+			tx = xs + g.SettleMs
 		}
 		vy := float64(st.vdir) * g.AccessSpeed
 		// Forward sweep: start at the top boundary of the first row
@@ -156,7 +161,17 @@ func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
 		if ty > pos {
 			pos = ty
 		}
-		bd.Positioning += pos
+		if tx >= ty {
+			// X path dominates (only possible after a cylinder change,
+			// else tx = 0 ≥ ty means both are free).
+			bd.Seek += xs
+			if tx > 0 {
+				bd.Settle += g.SettleMs
+			}
+		} else {
+			bd.Seek += ty
+		}
+		positioning += pos
 		bd.SeekX += tx
 		bd.SeekY += ty
 		bd.Transfer += float64(rowHi-row+1) * g.RowTimeMs
@@ -166,6 +181,7 @@ func (d *Device) access(st state, req *core.Request) (Breakdown, state) {
 		lbn += int64(n)
 		remaining -= n
 	}
+	bd.ServiceMs = positioning + bd.Transfer + bd.Overhead
 	return bd, st
 }
 

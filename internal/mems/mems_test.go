@@ -213,8 +213,8 @@ func TestReadModifyWriteCostsOneTurnaround(t *testing.T) {
 	if bd.SeekX != 0 {
 		t.Errorf("re-access moved in X: %g ms", bd.SeekX)
 	}
-	if bd.Positioning < 0.03 || bd.Positioning > 0.12 {
-		t.Errorf("re-access positioning = %g ms, want ≈ 0.07 (one turnaround)", bd.Positioning)
+	if bd.Positioning() < 0.03 || bd.Positioning() > 0.12 {
+		t.Errorf("re-access positioning = %g ms, want ≈ 0.07 (one turnaround)", bd.Positioning())
 	}
 }
 
@@ -227,13 +227,13 @@ func TestSequentialAccessHasNoReposition(t *testing.T) {
 	// Park the sled at the top of the track moving forward (as it would
 	// be mid-stream) so the first row is read in the forward direction.
 	d.SetState(g.Cylinders/2, 0, 1)
-	if bd := d.Detail(reqAt(start, 20)); bd.Positioning > 1e-9 {
-		t.Fatalf("aligned first row repositioned for %g ms", bd.Positioning)
+	if bd := d.Detail(reqAt(start, 20)); bd.Positioning() > 1e-9 {
+		t.Fatalf("aligned first row repositioned for %g ms", bd.Positioning())
 	}
 	d.Access(reqAt(start, 20), 0) // exactly one row
 	bd := d.Detail(reqAt(start+20, 20))
-	if bd.Positioning > 1e-9 {
-		t.Errorf("sequential continuation repositioned for %g ms", bd.Positioning)
+	if bd.Positioning() > 1e-9 {
+		t.Errorf("sequential continuation repositioned for %g ms", bd.Positioning())
 	}
 }
 
@@ -268,9 +268,9 @@ func TestCylinderSwitchPaysSettle(t *testing.T) {
 	}
 	// The second segment's positioning must include settle time.
 	single := d.Detail(reqAt(start, g.SectorsPerRow))
-	if bd.Positioning-single.Positioning < g.SettleMs*0.9 {
+	if bd.Positioning()-single.Positioning() < g.SettleMs*0.9 {
 		t.Errorf("cylinder switch positioning %g barely exceeds %g; settle=%g",
-			bd.Positioning, single.Positioning, g.SettleMs)
+			bd.Positioning(), single.Positioning(), g.SettleMs)
 	}
 }
 

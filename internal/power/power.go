@@ -145,7 +145,10 @@ type Managed struct {
 
 	// lastBusyEnd is when the device last finished servicing.
 	lastBusyEnd float64
-	rep         Report
+	// lastPenaltyMs is the restart penalty charged by the most recent
+	// Access, folded into its reported breakdown.
+	lastPenaltyMs float64
+	rep           Report
 }
 
 var _ core.Device = (*Managed)(nil)
@@ -175,6 +178,7 @@ func (m *Managed) SectorSize() int { return m.inner.SectorSize() }
 func (m *Managed) Reset() {
 	m.inner.Reset()
 	m.lastBusyEnd = 0
+	m.lastPenaltyMs = 0
 	m.rep = Report{}
 }
 
@@ -203,6 +207,7 @@ func (m *Managed) Access(req *core.Request, now float64) float64 {
 	penalty := m.accountIdle(now)
 	svc := m.inner.Access(req, now+penalty)
 	total := penalty + svc
+	m.lastPenaltyMs = penalty
 	m.rep.ActiveJ += m.model.ActiveW * svc / 1000
 	m.rep.PenaltyMs += penalty
 	m.rep.Requests++
@@ -226,6 +231,24 @@ func (m *Managed) EstimateAccess(req *core.Request, now float64) float64 {
 
 // Report returns the accounting up to the last access.
 func (m *Managed) Report() Report { return m.rep }
+
+// LastBreakdown implements core.BreakdownReporter: the wrapped device's
+// decomposition of the most recent access, with any restart (spin-up)
+// penalty charged to Overhead so the phase sum still reconciles with the
+// service time this wrapper reported.
+func (m *Managed) LastBreakdown() (core.Breakdown, bool) {
+	br, ok := m.inner.(core.BreakdownReporter)
+	if !ok {
+		return core.Breakdown{}, false
+	}
+	bd, ok := br.LastBreakdown()
+	if !ok {
+		return core.Breakdown{}, false
+	}
+	bd.Overhead += m.lastPenaltyMs
+	bd.ServiceMs += m.lastPenaltyMs
+	return bd, true
+}
 
 // FinishAt extends the idle accounting to time end (ms) without an
 // access, closing the books on a run.

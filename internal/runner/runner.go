@@ -92,13 +92,25 @@ func (j *Job) Value() any {
 }
 
 // run executes the job, converting panics into errors so one bad job
-// cannot take down the whole pool.
-func (j *Job) run() (err error) {
+// cannot take down the whole pool. A non-nil probe is attached to the
+// declarative regimes (labelled with the job), composed after any probe
+// the job declared itself; Custom bodies drive their own loops and are
+// not probed.
+func (j *Job) run(probe sim.Probe) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job %q: panic: %v", j.Label, r)
 		}
 	}()
+	opts := j.Options
+	if probe != nil {
+		labelled := sim.WithRun(probe, j.Label)
+		if opts.Probe == nil {
+			opts.Probe = labelled
+		} else {
+			opts.Probe = sim.MultiProbe{opts.Probe, labelled}
+		}
+	}
 	switch {
 	case j.Custom != nil:
 		j.val = j.Custom(j)
@@ -106,11 +118,11 @@ func (j *Job) run() (err error) {
 		return fmt.Errorf("job %q: no Custom body and no device/source factories", j.Label)
 	case j.Scheduler != nil:
 		d := j.Device()
-		j.res = sim.Run(nil, d, j.Scheduler(), j.Source(d), j.Options)
+		j.res = sim.Run(nil, d, j.Scheduler(), j.Source(d), opts)
 		j.SimMs = j.res.Elapsed
 	default:
 		d := j.Device()
-		j.res = sim.RunClosed(nil, d, j.Source(d), j.Options)
+		j.res = sim.RunClosed(nil, d, j.Source(d), opts)
 		j.SimMs = j.res.Elapsed
 	}
 	j.done = true
@@ -152,6 +164,14 @@ type Context struct {
 	// completes. Events arrive serialized (never concurrently) but in
 	// completion order, which under parallelism is not declaration order.
 	Progress func(Event)
+	// Probe, when non-nil, observes every declarative job's request
+	// lifecycle (sim.Options.Probe), with each event's Run field set to
+	// the job label. The probe is shared across workers, so it must be
+	// safe for concurrent use under parallelism (sim.JSONLProbe is);
+	// with Workers: 1 events arrive in declaration order. It composes
+	// after any probe a job declared itself; Custom jobs are left
+	// untouched.
+	Probe sim.Probe
 }
 
 // Run executes every job and returns aggregate metrics. Jobs run on a
@@ -186,7 +206,11 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 			for i := range idx {
 				j := jobs[i]
 				jobStart := time.Now()
-				err := j.run()
+				var probe sim.Probe
+				if c != nil {
+					probe = c.Probe
+				}
+				err := j.run(probe)
 				wallMs := float64(time.Since(jobStart)) / float64(time.Millisecond)
 				wall.Add(wallMs)
 				simt.Add(j.SimMs)

@@ -221,3 +221,71 @@ func TestPoolUnderLoad(t *testing.T) {
 	}
 	_ = sim.Options{} // keep the sim import for the declarative types
 }
+
+// labelProbe records the run labels of observed completions; safe for
+// single-worker use only.
+type labelProbe struct{ labels []string }
+
+func (p *labelProbe) Observe(ev sim.ProbeEvent) {
+	if ev.Kind == sim.EventComplete {
+		p.labels = append(p.labels, ev.Run)
+	}
+}
+
+func TestContextProbeObservesJobs(t *testing.T) {
+	// A context probe hears every declarative job's lifecycle, each event
+	// stamped with the job's label, in declaration order under Workers: 1.
+	lp := &labelProbe{}
+	jobs := []*Job{openJob("alpha", 3, 1), openJob("beta", 2, 2)}
+	c := &Context{Workers: 1, Probe: lp}
+	if _, err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "alpha", "alpha", "beta", "beta"}
+	if len(lp.labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", lp.labels, want)
+	}
+	for i := range want {
+		if lp.labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", lp.labels, want)
+		}
+	}
+}
+
+func TestContextProbeComposesWithJobProbe(t *testing.T) {
+	// A job that declares its own probe (the phases experiment's
+	// collector) still feeds the shared context probe.
+	pc := sim.NewPhaseCollector()
+	j := openJob("both", 4, 3)
+	j.Options.Probe = pc
+	lp := &labelProbe{}
+	c := &Context{Workers: 1, Probe: lp}
+	if _, err := c.Run([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Stats().Requests != 4 {
+		t.Errorf("job's own collector saw %d requests, want 4", pc.Stats().Requests)
+	}
+	if len(lp.labels) != 4 || lp.labels[0] != "both" {
+		t.Errorf("shared probe saw %v", lp.labels)
+	}
+	if j.Result().Phases == nil {
+		t.Error("Result.Phases lost in probe composition")
+	}
+}
+
+func TestCustomJobsAreNotProbed(t *testing.T) {
+	lp := &labelProbe{}
+	ran := false
+	j := &Job{Label: "custom", Custom: func(*Job) any { ran = true; return 7 }}
+	c := &Context{Workers: 1, Probe: lp}
+	if _, err := c.Run([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || j.Value() != 7 {
+		t.Fatalf("custom job did not run: %v", j.Value())
+	}
+	if len(lp.labels) != 0 {
+		t.Errorf("custom job leaked %v to the context probe", lp.labels)
+	}
+}

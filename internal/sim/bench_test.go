@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/disk"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/workload"
+)
+
+// benchRequests builds a deterministic random request slice against dev.
+func benchRequests(dev core.Device, n int) []*core.Request {
+	src := workload.DefaultRandom(1000, dev.SectorSize(), dev.Capacity(), n, 1)
+	return workload.Slice(src)
+}
+
+// BenchmarkMEMSAccess times the MEMS device's Access hot path — sled
+// seek, settle attribution and per-segment transfer — which every
+// simulated request pays at least once.
+func BenchmarkMEMSAccess(b *testing.B) {
+	d := mems.MustDevice(mems.DefaultConfig())
+	reqs := benchRequests(d, 4096)
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += d.Access(reqs[i%len(reqs)], now)
+	}
+}
+
+// BenchmarkDiskAccess times the disk model's Access hot path: seek
+// curve, rotational position and zoned transfer.
+func BenchmarkDiskAccess(b *testing.B) {
+	d := disk.MustDevice(disk.Atlas10K())
+	reqs := benchRequests(d, 4096)
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += d.Access(reqs[i%len(reqs)], now)
+	}
+}
+
+// discardProbe is the cheapest possible observer; it isolates the
+// event-emission overhead from any probe-side work.
+type discardProbe struct{}
+
+func (discardProbe) Observe(ProbeEvent) {}
+
+// benchRun drives one open-arrival run per iteration; the probe
+// variants quantify the instrumentation's cost against the nil-probe
+// baseline the byte-identity test guards.
+func benchRun(b *testing.B, p Probe) {
+	d := mems.MustDevice(mems.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := workload.DefaultRandom(1100, 512, d.Capacity(), 2000, 1)
+		Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 100, Probe: p})
+	}
+}
+
+func BenchmarkRunNilProbe(b *testing.B)   { benchRun(b, nil) }
+func BenchmarkRunDiscard(b *testing.B)    { benchRun(b, discardProbe{}) }
+func BenchmarkRunPhaseStats(b *testing.B) { benchRun(b, NewPhaseCollector()) }

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonlPhases is the phase block of a JSONL trace record; field order is
+// the emission order (encoding/json preserves struct order, keeping the
+// output deterministic).
+type jsonlPhases struct {
+	SeekMs       float64 `json:"seek_ms"`
+	SettleMs     float64 `json:"settle_ms"`
+	TurnaroundMs float64 `json:"turnaround_ms"`
+	TransferMs   float64 `json:"transfer_ms"`
+	OverheadMs   float64 `json:"overhead_ms"`
+	RecoveryMs   float64 `json:"recovery_ms"`
+	ServiceMs    float64 `json:"service_ms"`
+}
+
+// jsonlRecord is one JSONL trace line. Optional blocks (phases, the
+// completion summary) appear only on the event kinds that carry them;
+// the schema is documented in README.md.
+type jsonlRecord struct {
+	Event     string       `json:"event"`
+	TimeMs    float64      `json:"t_ms"`
+	Run       string       `json:"run,omitempty"`
+	Dev       int          `json:"dev,omitempty"`
+	Op        string       `json:"op"`
+	LBN       int64        `json:"lbn"`
+	Blocks    int          `json:"blocks"`
+	ArrivalMs float64      `json:"arrival_ms"`
+	Queue     int          `json:"queue,omitempty"`
+	Phases    *jsonlPhases `json:"phases,omitempty"`
+	Complete  *jsonlDone   `json:"summary,omitempty"`
+}
+
+// jsonlDone is the completion summary block.
+type jsonlDone struct {
+	ResponseMs float64 `json:"response_ms"`
+	ServiceMs  float64 `json:"service_ms"`
+	Measured   bool    `json:"measured"`
+	Retries    int     `json:"retries,omitempty"`
+	Requeues   int     `json:"requeues,omitempty"`
+	Failed     bool    `json:"failed,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
+}
+
+// JSONLProbe is a Probe that writes one JSON object per lifecycle event
+// to an io.Writer — the trace format cmd/memstrace replays into and
+// cmd/memsbench's -trace flag emits. It is safe for concurrent use (the
+// parallel experiment runner shares one instance across jobs), buffers
+// internally, and latches the first write error rather than failing
+// mid-simulation; call Flush to drain the buffer and surface that error.
+type JSONLProbe struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLProbe returns a probe writing JSONL records to w.
+func NewJSONLProbe(w io.Writer) *JSONLProbe {
+	return &JSONLProbe{w: bufio.NewWriter(w)}
+}
+
+// Observe implements Probe.
+func (p *JSONLProbe) Observe(ev ProbeEvent) {
+	rec := jsonlRecord{
+		Event:     ev.Kind.String(),
+		TimeMs:    ev.Time,
+		Run:       ev.Run,
+		Dev:       ev.Dev,
+		Op:        ev.Req.Op.String(),
+		LBN:       ev.Req.LBN,
+		Blocks:    ev.Req.Blocks,
+		ArrivalMs: ev.Req.Arrival,
+		Queue:     ev.Queue,
+	}
+	switch ev.Kind {
+	case EventService, EventRetry:
+		bd := ev.Breakdown
+		rec.Phases = &jsonlPhases{
+			SeekMs:       bd.Seek,
+			SettleMs:     bd.Settle,
+			TurnaroundMs: bd.Turnaround,
+			TransferMs:   bd.Transfer,
+			OverheadMs:   bd.Overhead,
+			RecoveryMs:   bd.Recovery,
+			ServiceMs:    bd.ServiceMs,
+		}
+	case EventComplete:
+		rec.Complete = &jsonlDone{
+			ResponseMs: ev.Req.ResponseTime(),
+			ServiceMs:  ev.Req.Phases.ServiceMs,
+			Measured:   ev.Measured,
+			Retries:    ev.Req.Retries,
+			Requeues:   ev.Req.Requeues,
+			Failed:     ev.Req.Failed,
+			Degraded:   ev.Req.Degraded,
+		}
+	}
+	line, err := json.Marshal(rec)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return
+	}
+	if err != nil {
+		// Unreachable for the plain struct above, but latch it anyway.
+		p.err = err
+		return
+	}
+	if _, err := p.w.Write(line); err != nil {
+		p.err = err
+		return
+	}
+	if err := p.w.WriteByte('\n'); err != nil {
+		p.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered by
+// any write (or the flush itself).
+func (p *JSONLProbe) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.w.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+var _ Probe = (*JSONLProbe)(nil)

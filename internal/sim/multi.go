@@ -30,15 +30,21 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 		devs[i].Reset()
 		scheds[i].Reset()
 	}
+	p := opts.Probe
+	resetProbe(p)
 	var res Result
 	var q EventQueue
 	busy := make([]bool, len(devs))
 	completed := 0
 	stopped := false
 
-	complete := func(r *core.Request, qlen int) {
+	complete := func(dev int, r *core.Request, qlen int) {
 		completed++
 		ctx.progress(completed, q.Now())
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventComplete, Time: q.Now(), Dev: dev, Req: r,
+				Measured: completed > opts.Warmup})
+		}
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
@@ -69,12 +75,20 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 		}
 		busy[i] = true
 		r.Start = now
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen})
+		}
 		svc := devs[i].Access(r, now)
 		r.Finish = now + svc
 		res.Busy += svc
+		if p != nil {
+			bd := breakdownOf(devs[i], svc)
+			r.Phases.Accumulate(bd)
+			p.Observe(ProbeEvent{Kind: EventService, Time: r.Finish, Dev: i, Req: r, Breakdown: bd})
+		}
 		q.Schedule(r.Finish, func() {
 			busy[i] = false
-			complete(r, qlen)
+			complete(i, r, qlen)
 			dispatch(i)
 		})
 	}
@@ -92,6 +106,10 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 		// itself when no translation is needed.
 		devReq.Arrival = r.Arrival
 		scheds[i].Add(devReq)
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventArrive, Time: r.Arrival, Dev: i, Req: devReq,
+				Queue: scheds[i].Len()})
+		}
 		dispatch(i)
 		if next := src.Next(); next != nil {
 			q.Schedule(next.Arrival, func() { arrive(next) })
@@ -103,6 +121,7 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 	for !stopped && q.Step() {
 	}
 	res.Elapsed = q.Now()
+	res.Phases = phaseStats(p)
 	return res
 }
 

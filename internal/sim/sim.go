@@ -68,6 +68,12 @@ type Options struct {
 	// is Reset alongside the device and scheduler. A zero-rate, event-free
 	// injector reproduces the no-injector run byte for byte.
 	Injector *fault.Injector
+	// Probe, when non-nil, observes typed request-lifecycle events
+	// (arrive, dispatch, per-phase service, retry/requeue, complete)
+	// through Run, RunClosed and RunMulti. A nil Probe is zero-cost and
+	// byte-identical to an unprobed run. Probes with run-scoped state
+	// (PhaseCollector) are reset alongside the device and scheduler.
+	Probe Probe
 }
 
 // Result summarizes a run. Response time (queue + service) and its
@@ -112,6 +118,10 @@ type Result struct {
 	// RecoveryMs is the total added recovery time in ms (retry penalties
 	// plus ECC surcharges).
 	RecoveryMs float64
+
+	// Phases holds the per-phase service aggregates when the run's Probe
+	// contained a PhaseCollector; nil otherwise.
+	Phases *PhaseStats
 }
 
 // Utilization returns the fraction of elapsed time the device was busy.
@@ -135,12 +145,33 @@ func (r *Result) String() string {
 // budget, and surviving degraded-stripe reads pay ECC reconstruction. It
 // returns the visit's total device time and whether the request must go
 // back to the scheduler for another visit.
-func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, res *Result) (svc float64, requeue bool) {
+//
+// When p is non-nil the visit's phase breakdown (recovery surcharges
+// included) accumulates into r.Phases, retries emit EventRetry, and the
+// visit closes with EventService; a nil p skips every piece of that
+// bookkeeping.
+func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, res *Result, p Probe) (svc float64, requeue bool) {
+	var bd core.Breakdown
+	serviced := func() {
+		if p == nil {
+			return
+		}
+		r.Phases.Accumulate(bd)
+		p.Observe(ProbeEvent{Kind: EventService, Time: now + svc, Req: r, Breakdown: bd})
+	}
 	if inj == nil {
-		return d.Access(r, now), false
+		svc = d.Access(r, now)
+		if p != nil {
+			bd = breakdownOf(d, svc)
+			serviced()
+		}
+		return svc, false
 	}
 	inj.Advance(now)
 	svc = d.Access(r, now)
+	if p != nil {
+		bd = breakdownOf(d, svc)
+	}
 	retries := 0
 	for inj.TransientError() {
 		if retries >= inj.MaxRetries() {
@@ -149,9 +180,11 @@ func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, 
 			if r.Requeues < inj.MaxRequeues() {
 				r.Requeues++
 				res.Requeues++
+				serviced()
 				return svc, true
 			}
 			r.Failed = true
+			serviced()
 			return svc, false
 		}
 		pen := inj.FallbackPenaltyMs()
@@ -164,6 +197,12 @@ func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, 
 		res.Retries++
 		res.RecoveryMs += pen
 		svc += pen
+		if p != nil {
+			bd.Recovery += pen
+			bd.ServiceMs += pen
+			p.Observe(ProbeEvent{Kind: EventRetry, Time: now + svc, Req: r,
+				Breakdown: core.Breakdown{Recovery: pen, ServiceMs: pen}})
+		}
 	}
 	if r.Op == core.Read {
 		if n := inj.DegradedBlocks(r.LBN, r.Blocks); n > 0 {
@@ -172,8 +211,13 @@ func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, 
 			r.RecoveryMs += sur
 			res.RecoveryMs += sur
 			svc += sur
+			if p != nil {
+				bd.Recovery += sur
+				bd.ServiceMs += sur
+			}
 		}
 	}
+	serviced()
 	return svc, false
 }
 
@@ -214,6 +258,8 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 	if inj != nil {
 		inj.Reset()
 	}
+	p := opts.Probe
+	resetProbe(p)
 	var res Result
 	now := 0.0
 	next := src.Next()
@@ -225,6 +271,9 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 		// Ingest every request that has arrived by `now`.
 		for next != nil && next.Arrival <= now {
 			s.Add(next)
+			if p != nil {
+				p.Observe(ProbeEvent{Kind: EventArrive, Time: next.Arrival, Req: next, Queue: s.Len()})
+			}
 			next = src.Next()
 		}
 		if s.Len() == 0 {
@@ -240,16 +289,26 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 		if r.Requeues == 0 {
 			r.Start = now
 		}
-		svc, again := serveOne(d, r, now, inj, &res)
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen})
+		}
+		svc, again := serveOne(d, r, now, inj, &res, p)
 		now += svc
 		res.Busy += svc
 		if again {
 			requeue(s, r)
+			if p != nil {
+				p.Observe(ProbeEvent{Kind: EventRequeue, Time: now, Req: r, Queue: s.Len()})
+			}
 			continue
 		}
 		r.Finish = now
 		completed++
 		ctx.progress(completed, now)
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r,
+				Measured: completed > opts.Warmup && !r.Failed})
+		}
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
@@ -267,6 +326,7 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 		}
 	}
 	res.Elapsed = now
+	res.Phases = phaseStats(p)
 	return res
 }
 
@@ -280,6 +340,8 @@ func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) R
 	if inj != nil {
 		inj.Reset()
 	}
+	p := opts.Probe
+	resetProbe(p)
 	var res Result
 	now := 0.0
 	completed := 0
@@ -289,21 +351,34 @@ func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) R
 		}
 		r.Arrival = now
 		r.Start = now
+		if p != nil {
+			// Closed regime: arrival and dispatch coincide; the "queue"
+			// is the request itself.
+			p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
+			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1})
+		}
 		// With no queue to return to, a failed visit re-services the
 		// request immediately, spending the requeue budget in place.
 		total := 0.0
 		for {
-			svc, again := serveOne(d, r, now, inj, &res)
+			svc, again := serveOne(d, r, now, inj, &res, p)
 			now += svc
 			total += svc
 			res.Busy += svc
 			if !again {
 				break
 			}
+			if p != nil {
+				p.Observe(ProbeEvent{Kind: EventRequeue, Time: now, Req: r, Queue: 1})
+			}
 		}
 		r.Finish = now
 		completed++
 		ctx.progress(completed, now)
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r,
+				Measured: completed > opts.Warmup && !r.Failed})
+		}
 		if opts.OnComplete != nil {
 			opts.OnComplete(r)
 		}
@@ -317,6 +392,7 @@ func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) R
 		}
 	}
 	res.Elapsed = now
+	res.Phases = phaseStats(p)
 	return res
 }
 

@@ -1,0 +1,52 @@
+package stats
+
+// Dist couples the two accumulators the per-phase service metrics need:
+// a Welford for streaming moments (mean, variance, min/max) and a Sample
+// for exact order statistics (p95/p99). It exists so a phase's aggregate
+// is one field, not two that can drift apart. The zero value is an empty
+// accumulator ready to use.
+//
+// Dist retains every observation (via the Sample); callers aggregating
+// unbounded streams should prefer a bare Welford.
+type Dist struct {
+	w Welford
+	s Sample
+}
+
+// Add folds one observation into both accumulators.
+func (d *Dist) Add(x float64) {
+	d.w.Add(x)
+	d.s.Add(x)
+}
+
+// N reports the number of observations added.
+func (d *Dist) N() int64 { return d.w.N() }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (d *Dist) Mean() float64 { return d.w.Mean() }
+
+// Min returns the smallest observation, or 0 if empty.
+func (d *Dist) Min() float64 { return d.w.Min() }
+
+// Max returns the largest observation, or 0 if empty.
+func (d *Dist) Max() float64 { return d.w.Max() }
+
+// StdDev returns the population standard deviation.
+func (d *Dist) StdDev() float64 { return d.w.StdDev() }
+
+// SquaredCV returns σ²/µ², the paper's starvation metric.
+func (d *Dist) SquaredCV() float64 { return d.w.SquaredCV() }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) over the retained
+// observations, or 0 if empty.
+func (d *Dist) Percentile(p float64) float64 { return d.s.Percentile(p) }
+
+// P95 returns the 95th percentile.
+func (d *Dist) P95() float64 { return d.s.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (d *Dist) P99() float64 { return d.s.Percentile(99) }
+
+// Welford returns a copy of the streaming accumulator, for callers that
+// want to Merge several Dists' moments.
+func (d *Dist) Welford() Welford { return d.w }

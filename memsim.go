@@ -27,6 +27,8 @@
 package memsim
 
 import (
+	"io"
+
 	"memsim/internal/core"
 	"memsim/internal/disk"
 	"memsim/internal/experiments"
@@ -35,6 +37,7 @@ import (
 	"memsim/internal/runner"
 	"memsim/internal/sched"
 	"memsim/internal/sim"
+	"memsim/internal/stats"
 	"memsim/internal/trace"
 	"memsim/internal/workload"
 )
@@ -198,6 +201,68 @@ func ConcatRouter(perDev int64) Router { return sim.ConcatRouter(perDev) }
 
 // StripeRouter routes unit-sized strips round-robin across n devices.
 func StripeRouter(unit int64, n int) Router { return sim.StripeRouter(unit, n) }
+
+// ─── Lifecycle observation ──────────────────────────────────────────────
+
+// Breakdown decomposes one service visit into the paper's mechanical
+// phases (seek, settle/rotate, turnaround, transfer, overhead, recovery).
+// Both device models report one; sums reconcile with the exact service
+// time to within float residue (Unattributed).
+type Breakdown = core.Breakdown
+
+// BreakdownReporter is implemented by devices that decompose their last
+// access.
+type BreakdownReporter = core.BreakdownReporter
+
+// Probe observes typed request-lifecycle events from a simulation run; a
+// nil probe is free and leaves results byte-identical.
+type Probe = sim.Probe
+
+// ProbeEvent is one lifecycle observation.
+type ProbeEvent = sim.ProbeEvent
+
+// ProbeEventKind enumerates the lifecycle stages.
+type ProbeEventKind = sim.EventKind
+
+// The lifecycle event kinds a Probe observes.
+const (
+	EventArrive   = sim.EventArrive
+	EventDispatch = sim.EventDispatch
+	EventService  = sim.EventService
+	EventRetry    = sim.EventRetry
+	EventRequeue  = sim.EventRequeue
+	EventComplete = sim.EventComplete
+)
+
+// MultiProbe fans events out to several probes in order.
+type MultiProbe = sim.MultiProbe
+
+// WithRun wraps a probe so every event carries a run label.
+func WithRun(p Probe, run string) Probe { return sim.WithRun(p, run) }
+
+// PhaseDist is a streaming distribution (Welford moments plus retained
+// samples for exact percentiles) used for per-phase aggregates.
+type PhaseDist = stats.Dist
+
+// PhaseStats aggregates per-request phase observations over a run's
+// measured completions; SimResult.Phases points at one when a
+// PhaseCollector is attached.
+type PhaseStats = sim.PhaseStats
+
+// PhaseCollector is a Probe that aggregates PhaseStats.
+type PhaseCollector = sim.PhaseCollector
+
+// NewPhaseCollector returns an empty collector; attach via
+// SimOptions.Probe.
+func NewPhaseCollector() *PhaseCollector { return sim.NewPhaseCollector() }
+
+// JSONLProbe streams lifecycle events as JSON Lines (the memsbench
+// -trace / memstrace -replay format; schema in README.md).
+type JSONLProbe = sim.JSONLProbe
+
+// NewJSONLProbe returns a probe writing JSONL records to w; call Flush
+// when the run ends.
+func NewJSONLProbe(w io.Writer) *JSONLProbe { return sim.NewJSONLProbe(w) }
 
 // ─── Power management ───────────────────────────────────────────────────
 

@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -81,7 +82,7 @@ func TestFacadePower(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("experiment IDs: %v", ids)
 	}
 	tables, err := RunExperiment("table1", QuickExperimentParams())
@@ -200,5 +201,39 @@ func TestFacadeSimulateMulti(t *testing.T) {
 	}
 	if StripeRouter(8, 2) == nil {
 		t.Fatal("nil router")
+	}
+}
+
+func TestFacadeProbe(t *testing.T) {
+	dev, err := NewMEMSDevice(DefaultMEMSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewScheduler("SPTF")
+	var buf bytes.Buffer
+	pc := NewPhaseCollector()
+	src := NewRandomWorkload(900, dev.SectorSize(), dev.Capacity(), 500, 9)
+	res := Simulate(dev, s, src, SimOptions{
+		Warmup: 50,
+		Probe:  MultiProbe{pc, WithRun(NewJSONLProbe(&buf), "facade")},
+	})
+	if res.Phases == nil || res.Phases.Requests != res.Requests {
+		t.Fatalf("Phases = %+v, requests %d", res.Phases, res.Requests)
+	}
+	if res.Phases.Positioning.Mean() <= 0 || res.Phases.Positioning.P99() < res.Phases.Positioning.P95() {
+		t.Errorf("positioning stats: mean=%g p95=%g p99=%g",
+			res.Phases.Positioning.Mean(), res.Phases.Positioning.P95(), res.Phases.Positioning.P99())
+	}
+	if buf.Len() == 0 {
+		t.Error("JSONL probe wrote nothing")
+	}
+	var bd Breakdown
+	if _, ok := Device(dev).(BreakdownReporter); !ok {
+		t.Error("MEMS device does not report breakdowns through the facade")
+	} else if bd, _ = dev.LastBreakdown(); bd.ServiceMs <= 0 {
+		t.Errorf("last breakdown = %+v", bd)
+	}
+	if EventComplete.String() != "complete" {
+		t.Errorf("EventComplete = %q", EventComplete.String())
 	}
 }
