@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -49,6 +50,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "report per-job completions to stderr")
 		faultRate = flag.Float64("fault-rate", 0, "extra transient-error rate for the faultinject sweep, in [0,1)")
 		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
+		failDev   = flag.Int("fail-dev", 0, "volume member slot the rebuild experiment kills (reduced modulo the member count)")
+		rebuild   = flag.Float64("rebuild", 0, "extra rebuild-throttle fraction for the rebuild sweep, in (0,1]; 0 keeps the standard sweep")
 		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 	)
 	flag.Parse()
@@ -67,9 +70,17 @@ func main() {
 	if *faultRate < 0 || *faultRate >= 1 {
 		fatal(fmt.Errorf("-fault-rate %g out of [0,1)", *faultRate))
 	}
+	if *rebuild < 0 || *rebuild > 1 {
+		fatal(fmt.Errorf("-rebuild %g out of [0,1]", *rebuild))
+	}
+	if *failDev < 0 {
+		fatal(fmt.Errorf("-fail-dev %d must be non-negative", *failDev))
+	}
 	p.Seed = *seed
 	p.FaultRate = *faultRate
 	p.FaultSeed = *faultSeed
+	p.FailDev = *failDev
+	p.RebuildFrac = *rebuild
 	p = p.WithRequests(*reqs)
 
 	ids := experiments.IDs()
@@ -111,15 +122,19 @@ func main() {
 
 	results, sum, err := experiments.RunMany(ctx, ids, p)
 	if err != nil {
+		if traceFile != nil {
+			os.Remove(traceFile.Name())
+		}
 		fmt.Fprintln(os.Stderr, "memsbench:", err)
 		os.Exit(1)
 	}
 	if traceProbe != nil {
 		if err := traceProbe.Flush(); err != nil {
+			os.Remove(traceFile.Name())
 			fatal(fmt.Errorf("writing %s: %w", *tracePath, err))
 		}
-		if err := traceFile.Close(); err != nil {
-			fatal(fmt.Errorf("closing %s: %w", *tracePath, err))
+		if err := commitTrace(traceFile, *tracePath); err != nil {
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "memsbench: wrote lifecycle trace to %s\n", *tracePath)
 	}
@@ -149,28 +164,45 @@ func writeCSV(t experiments.Table, out string) {
 		fatal(err)
 	}
 	path := filepath.Join(dir, t.ID+".csv")
-	f, err := os.Create(path)
+	// Atomic: an interrupted run never leaves a truncated artifact.
+	err := runner.WriteArtifact(path, func(w io.Writer) error {
+		t.CSV(w)
+		return nil
+	})
 	if err != nil {
-		fatal(err)
-	}
-	t.CSV(f)
-	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
 }
 
-// openTrace validates and creates the -trace output file, turning an
-// unwritable path into a clean error instead of a mid-run failure.
+// openTrace validates the -trace output path and opens a temporary file
+// next to it. The trace streams into the temporary file during the run;
+// commitTrace renames it over the final path only after a clean flush,
+// so an interrupted run never leaves a truncated trace where a complete
+// one is expected.
 func openTrace(path string) (*os.File, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		return nil, fmt.Errorf("-trace %s: is a directory", path)
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return nil, fmt.Errorf("-trace %s: %w", path, err)
 	}
 	return f, nil
+}
+
+// commitTrace publishes the streamed temporary trace file at its final
+// path.
+func commitTrace(f *os.File, path string) error {
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("-trace %s: %w", path, err)
+	}
+	return nil
 }
 
 func fatal(err error) {

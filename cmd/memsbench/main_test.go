@@ -23,14 +23,34 @@ func TestOpenTraceRejectsUnwritablePath(t *testing.T) {
 	}
 }
 
-func TestOpenTraceCreatesFile(t *testing.T) {
+func TestOpenTraceStreamsThenCommits(t *testing.T) {
+	// The trace streams into a temporary file; the final path appears
+	// only once commitTrace publishes it, so an interrupted run never
+	// leaves a truncated trace.
 	path := filepath.Join(t.TempDir(), "t.jsonl")
 	f, err := openTrace(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
-	if _, err := os.Stat(path); err != nil {
-		t.Errorf("trace file not created: %v", err)
+	if _, err := f.WriteString("{\"event\":\"arrive\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("final trace path exists before commit: %v", err)
+	}
+	if err := commitTrace(f, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "{\"event\":\"arrive\"}\n" {
+		t.Errorf("committed trace = %q, err = %v", got, err)
+	}
+	// The temporary file is gone.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("%d directory entries after commit, want 1", len(ents))
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"memsim/internal/layout"
 	"memsim/internal/mems"
 	"memsim/internal/sched"
+	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
 
@@ -198,3 +199,53 @@ func MEMSConfigGen2() MEMSConfig { return mems.ConfigGen2() }
 
 // MEMSConfigGen3 is the third-generation extrapolation.
 func MEMSConfigGen3() MEMSConfig { return mems.ConfigGen3() }
+
+// ─── Redundant volumes and failover (device-level §6.2, dynamic) ────────
+
+// VolumeLevel selects a redundant volume's geometry.
+type VolumeLevel = array.VolumeLevel
+
+// The supported volume levels.
+const (
+	VolumeStripe = array.VolStripe
+	VolumeMirror = array.VolMirror
+	VolumeParity = array.VolParity
+)
+
+// VolumeConfig parameterizes a redundant volume (members, hot spares,
+// stripe unit, per-member capacity).
+type VolumeConfig = array.VolumeConfig
+
+// Volume is the geometry and failover state machine of a redundant
+// volume: address translation, degraded-mode service plans, hot-spare
+// failover and watermark-tracked online rebuild.
+type Volume = array.Volume
+
+// NewVolume validates cfg and builds a healthy volume.
+func NewVolume(cfg VolumeConfig) (*Volume, error) { return array.NewVolume(cfg) }
+
+// DeviceFailureEvent schedules a whole-device failure at a simulated
+// time; pass a schedule via FaultInjectorConfig.DeviceEvents and run the
+// volume with SimulateVolume.
+type DeviceFailureEvent = fault.DeviceEvent
+
+// VolumeSpec assembles a volume simulation: the volume, one device and
+// scheduler queue per slot (members first, then spares), and the online
+// rebuild policy.
+type VolumeSpec = sim.VolumeSpec
+
+// VolumeStats reports a volume run's failover metrics: failures served,
+// rebuild MTTR, degraded windows, and healthy- vs degraded-mode
+// response distributions.
+type VolumeStats = sim.VolumeStats
+
+// MemberStats attributes a multi-device run's work to one member slot.
+type MemberStats = sim.MemberResult
+
+// SimulateVolume drives an open workload over a redundant volume,
+// surviving scheduled device failures via degraded-mode service,
+// hot-spare failover and throttled online rebuild. Failover metrics
+// land in SimResult.Volume.
+func SimulateVolume(spec VolumeSpec, src WorkloadSource, opts SimOptions) (SimResult, error) {
+	return sim.RunVolume(nil, spec, src, opts)
+}

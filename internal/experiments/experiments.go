@@ -41,6 +41,13 @@ type Params struct {
 	// FaultSeed seeds the fault injectors' private random streams; zero
 	// derives one from Seed, so injection stays deterministic either way.
 	FaultSeed int64
+	// FailDev selects which volume member slot the rebuild experiment
+	// kills (cmd/memsbench -fail-dev); it is reduced modulo the member
+	// count, so any non-negative value is safe.
+	FailDev int
+	// RebuildFrac, when positive, adds an extra rebuild-throttle fraction
+	// to the rebuild experiment's sweep (cmd/memsbench -rebuild).
+	RebuildFrac float64
 }
 
 // faultSeed resolves the injector base seed per the FaultSeed contract.

@@ -318,3 +318,52 @@ func TestFaultInjectShape(t *testing.T) {
 		t.Errorf("largest failure count produced no degraded-mode service: %v", last)
 	}
 }
+
+func TestRebuildShape(t *testing.T) {
+	ts := Rebuild(tiny())
+	if len(ts) != 3 {
+		t.Fatalf("tables = %d, want 3", len(ts))
+	}
+	sweep := ts[0]
+	if len(sweep.Rows) != 4 {
+		t.Fatalf("throttle rows = %d, want 4", len(sweep.Rows))
+	}
+	var prevMEMS float64
+	for i, row := range sweep.Rows {
+		memsMTTR, diskMTTR := cell(t, row[1]), cell(t, row[2])
+		// The headline claim: at equal per-member capacity the MEMS volume
+		// closes its vulnerability window well before the disk volume.
+		if memsMTTR <= 0 || diskMTTR <= memsMTTR {
+			t.Errorf("throttle %s: MEMS MTTR %g s vs disk %g s, want MEMS ≪ disk",
+				row[0], memsMTTR, diskMTTR)
+		}
+		// Raising the throttle fraction must shorten the rebuild.
+		if i > 0 && memsMTTR >= prevMEMS {
+			t.Errorf("throttle %s: MTTR %g s not below previous %g s", row[0], memsMTTR, prevMEMS)
+		}
+		prevMEMS = memsMTTR
+		// A failover with a hot spare loses no requests.
+		if row[5] != "0" {
+			t.Errorf("throttle %s: lost requests = %s", row[0], row[5])
+		}
+	}
+	// Degraded-mode foreground service costs more than healthy on both
+	// device types, at every throttle.
+	fg := ts[1]
+	for _, row := range fg.Rows {
+		if cell(t, row[2]) <= cell(t, row[1]) {
+			t.Errorf("throttle %s: MEMS degraded p95 %s not above healthy %s", row[0], row[2], row[1])
+		}
+		if cell(t, row[4]) <= cell(t, row[3]) {
+			t.Errorf("throttle %s: disk degraded p95 %s not above healthy %s", row[0], row[4], row[3])
+		}
+	}
+	// Mirror volume: same ordering between device types.
+	mir := ts[2]
+	if len(mir.Rows) != 2 {
+		t.Fatalf("mirror rows = %d, want 2", len(mir.Rows))
+	}
+	if cell(t, mir.Rows[1][1]) <= cell(t, mir.Rows[0][1]) {
+		t.Errorf("mirror: disk MTTR %s not above MEMS %s", mir.Rows[1][1], mir.Rows[0][1])
+	}
+}

@@ -90,7 +90,11 @@ func stripedResponse(n int, rate float64, p Params) float64 {
 		Seed:         p.Seed,
 	}
 	src := workload.NewRandom(cfg)
-	res := sim.RunMulti(nil, devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
+	res, err := sim.RunMulti(nil, devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
+	if err != nil {
+		// Recovered by the runner into a per-job error.
+		panic(err)
+	}
 	if res.Response.Mean() > 1000 {
 		return -1
 	}

@@ -198,6 +198,17 @@ func (a *Array) TipDegraded(id int) bool {
 	return a.stripeOf(id) >= 0
 }
 
+// TipLost reports whether tip id is a failed, unremapped data tip in a
+// stripe group whose unremapped failures exceed its ECC budget — the
+// data under it is unrecoverable, and reads touching it must fail
+// rather than be silently served. Out-of-range ids report false.
+func (a *Array) TipLost(id int) bool {
+	if !a.TipDegraded(id) {
+		return false
+	}
+	return a.failedAt[a.stripeOf(id)] > a.cfg.ECCTips
+}
+
 // UnremappedFailures counts failed data tips currently lacking spare
 // cover — the tips whose stripes are serving reads in degraded mode.
 func (a *Array) UnremappedFailures() int {

@@ -41,6 +41,18 @@ type TipEvent struct {
 	Defect bool
 }
 
+// DeviceEvent schedules a whole-device failure at a simulated time: the
+// volume member in slot Dev fails completely and is served in degraded
+// mode (and rebuilt onto a hot spare) from then on. Device events are
+// consumed by sim.RunVolume; the single-device entry points ignore
+// them.
+type DeviceEvent struct {
+	// AtMs is the simulated time in ms at which the device fails.
+	AtMs float64
+	// Dev is the volume member slot that fails.
+	Dev int
+}
+
 // InjectorConfig declares a fault-injection scenario.
 type InjectorConfig struct {
 	// TransientRate is the per-access-attempt probability of a transient
@@ -72,6 +84,11 @@ type InjectorConfig struct {
 	// over (e.g. mems.Geometry.TipsForSector). Nil disables degraded-read
 	// detection — appropriate for disks, which have no tip array.
 	SectorTips func(lbn int64) []int
+
+	// DeviceEvents is the whole-device failure schedule for redundant
+	// volume runs (sim.RunVolume). Events fire in AtMs order as the
+	// simulation clock passes them.
+	DeviceEvents []DeviceEvent
 
 	// Seed drives the injector's private random stream.
 	Seed int64
@@ -117,6 +134,14 @@ func (c InjectorConfig) Validate() error {
 			}
 		}
 	}
+	for i, ev := range c.DeviceEvents {
+		if ev.AtMs < 0 {
+			return fmt.Errorf("fault: device event %d scheduled at negative time %g", i, ev.AtMs)
+		}
+		if ev.Dev < 0 {
+			return fmt.Errorf("fault: device event %d targets negative member slot %d", i, ev.Dev)
+		}
+	}
 	return nil
 }
 
@@ -133,9 +158,15 @@ type Injector struct {
 	// hasDegraded caches whether any stripe currently serves in degraded
 	// mode; only Advance can change it, so reads skip the per-sector scan
 	// on healthy arrays.
-	hasDegraded  bool
+	hasDegraded bool
+	// hasLoss caches whether any stripe has exceeded its ECC budget —
+	// some sectors are gone and reads touching them must fail.
+	hasLoss      bool
 	tipFailures  int
 	mediaDefects int
+	// devEvents is the whole-device failure schedule, sorted by AtMs
+	// (stable w.r.t. declaration order).
+	devEvents []DeviceEvent
 }
 
 // NewInjector validates cfg and builds an injector ready for a run.
@@ -143,8 +174,13 @@ func NewInjector(cfg InjectorConfig) (*Injector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	in := &Injector{cfg: cfg, events: append([]TipEvent(nil), cfg.Events...)}
+	in := &Injector{
+		cfg:       cfg,
+		events:    append([]TipEvent(nil), cfg.Events...),
+		devEvents: append([]DeviceEvent(nil), cfg.DeviceEvents...),
+	}
 	sort.SliceStable(in.events, func(i, j int) bool { return in.events[i].AtMs < in.events[j].AtMs })
+	sort.SliceStable(in.devEvents, func(i, j int) bool { return in.devEvents[i].AtMs < in.devEvents[j].AtMs })
 	in.Reset()
 	return in, nil
 }
@@ -155,6 +191,7 @@ func (in *Injector) Reset() {
 	in.rng = rand.New(rand.NewSource(in.cfg.Seed))
 	in.next = 0
 	in.hasDegraded = false
+	in.hasLoss = false
 	in.tipFailures = 0
 	in.mediaDefects = 0
 	in.arr = nil
@@ -190,6 +227,7 @@ func (in *Injector) Advance(now float64) int {
 	}
 	if fired > 0 && in.arr != nil {
 		in.hasDegraded = in.arr.UnremappedFailures() > 0
+		in.hasLoss = in.arr.DataLoss()
 	}
 	return fired
 }
@@ -241,6 +279,32 @@ func (in *Injector) DegradedBlocks(lbn int64, blocks int) int {
 	}
 	return n
 }
+
+// LostBlocks counts the sectors of [lbn, lbn+blocks) currently striped
+// over a tip whose stripe group has exceeded its ECC budget — sectors
+// whose data is unrecoverable. A read touching any of them must
+// complete in error: the simulator uses this to refuse silent service
+// of lost data. It returns 0 when no stripe has lost data or no tip
+// mapping is configured.
+func (in *Injector) LostBlocks(lbn int64, blocks int) int {
+	if !in.hasLoss || in.cfg.SectorTips == nil {
+		return 0
+	}
+	n := 0
+	for b := 0; b < blocks; b++ {
+		for _, tip := range in.cfg.SectorTips(lbn + int64(b)) {
+			if in.arr.TipLost(tip) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// DeviceEvents returns the whole-device failure schedule, sorted by
+// firing time. The caller must not mutate the returned slice.
+func (in *Injector) DeviceEvents() []DeviceEvent { return in.devEvents }
 
 // Array exposes the evolving redundancy state (nil when the injector has
 // no tip array); experiments read spare and degraded-stripe counts from

@@ -208,3 +208,81 @@ func TestInjectorAccessors(t *testing.T) {
 		t.Error("array should be nil without a configuration")
 	}
 }
+
+func TestInjectorDeviceEvents(t *testing.T) {
+	bad := []InjectorConfig{
+		{DeviceEvents: []DeviceEvent{{AtMs: -1, Dev: 0}}},
+		{DeviceEvents: []DeviceEvent{{AtMs: 0, Dev: -3}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	// The accessor returns the schedule sorted by firing time, stable
+	// w.r.t. declaration order for ties.
+	in, err := NewInjector(InjectorConfig{DeviceEvents: []DeviceEvent{
+		{AtMs: 30, Dev: 2},
+		{AtMs: 10, Dev: 1},
+		{AtMs: 10, Dev: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.DeviceEvents()
+	want := []DeviceEvent{{AtMs: 10, Dev: 1}, {AtMs: 10, Dev: 0}, {AtMs: 30, Dev: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("schedule length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInjectorLostBlocksAfterECCExhausted(t *testing.T) {
+	// Two ECC tips absorb two failures in a stripe; the third exceeds
+	// the budget and the stripe's sectors become unrecoverable.
+	in, err := NewInjector(InjectorConfig{
+		Array: &injArray,
+		Events: []TipEvent{
+			{AtMs: 1, Tip: 0},
+			{AtMs: 2, Tip: 1},
+			{AtMs: 3, Tip: 2},
+		},
+		SectorTips: func(lbn int64) []int {
+			if lbn < 8 {
+				return []int{0}
+			}
+			return []int{40} // healthy tip
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(2.5)
+	// Two failures: degraded but still within the ECC budget.
+	if in.LostBlocks(0, 8) != 0 {
+		t.Error("data reported lost while ECC can still reconstruct")
+	}
+	if in.DegradedBlocks(0, 8) != 8 {
+		t.Errorf("degraded blocks = %d, want 8", in.DegradedBlocks(0, 8))
+	}
+	in.Advance(3.5)
+	if !in.Array().DataLoss() {
+		t.Fatal("third failure in a 2-ECC stripe must lose data")
+	}
+	if in.LostBlocks(0, 8) != 8 {
+		t.Errorf("lost blocks = %d, want 8", in.LostBlocks(0, 8))
+	}
+	// Sectors on healthy tips are unaffected.
+	if in.LostBlocks(100, 8) != 0 {
+		t.Errorf("healthy sectors reported lost: %d", in.LostBlocks(100, 8))
+	}
+
+	in.Reset()
+	if in.LostBlocks(0, 8) != 0 {
+		t.Error("Reset kept loss state")
+	}
+}

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteArtifact renders an experiment artifact to path atomically: the
+// render callback streams into a temporary file in the same directory,
+// which replaces path in one rename only after the render and all
+// writes succeed. An interrupted or failing render therefore never
+// leaves a truncated artifact behind — the previous version of the
+// file, if any, survives intact.
+func WriteArtifact(path string, render func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = render(tmp); err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -69,8 +70,14 @@ type Job struct {
 
 	res  sim.Result
 	val  any
+	err  error
 	done bool
 }
+
+// Err returns the job's execution error (nil if it succeeded or has not
+// run yet). After Context.Run returns, a non-nil Err explains why the
+// job's Result/Value must not be read.
+func (j *Job) Err() error { return j.err }
 
 // Result returns the declarative run's result. It panics if the job has
 // not been executed yet — assembling tables before Run returns is a
@@ -176,8 +183,10 @@ type Context struct {
 
 // Run executes every job and returns aggregate metrics. Jobs run on a
 // pool of Context.Workers goroutines; results land in the jobs' own
-// slots. If any job fails, Run still executes the remaining jobs (they
-// are independent) and returns the first failure.
+// slots. If any jobs fail, Run still executes the remaining jobs (they
+// are independent) and returns every failure joined in declaration
+// order — deterministic regardless of completion order. Per-job errors
+// also stay readable through Job.Err.
 func (c *Context) Run(jobs []*Job) (Summary, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if c != nil && c.Workers > 0 {
@@ -193,9 +202,8 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 	start := time.Now()
 	var (
 		wall, simt stats.Meter
-		mu         sync.Mutex // guards done count, firstErr, Progress calls
+		mu         sync.Mutex // guards done count and Progress calls
 		done       int
-		firstErr   error
 		wg         sync.WaitGroup
 	)
 	idx := make(chan int)
@@ -211,14 +219,12 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 					probe = c.Probe
 				}
 				err := j.run(probe)
+				j.err = err
 				wallMs := float64(time.Since(jobStart)) / float64(time.Millisecond)
 				wall.Add(wallMs)
 				simt.Add(j.SimMs)
 				mu.Lock()
 				done++
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
 				if c != nil && c.Progress != nil {
 					c.Progress(Event{
 						Label: j.Label, Done: done, Total: len(jobs),
@@ -235,13 +241,21 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 	close(idx)
 	wg.Wait()
 
+	// Aggregate failures in declaration order, not completion order, so
+	// the joined error is deterministic under parallelism.
+	var errs []error
+	for _, j := range jobs {
+		if j.err != nil {
+			errs = append(errs, j.err)
+		}
+	}
 	sum := Summary{
 		Jobs:      len(jobs),
 		Wall:      wall.Snapshot(),
 		Sim:       simt.Snapshot(),
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	return sum, firstErr
+	return sum, errors.Join(errs...)
 }
 
 // Sequential returns a single-worker context: the reference execution

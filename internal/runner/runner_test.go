@@ -3,7 +3,10 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -287,5 +290,78 @@ func TestCustomJobsAreNotProbed(t *testing.T) {
 	}
 	if len(lp.labels) != 0 {
 		t.Errorf("custom job leaked %v to the context probe", lp.labels)
+	}
+}
+
+func TestErrorsJoinInDeclarationOrder(t *testing.T) {
+	jobs := []*Job{
+		{Label: "first-bad", Custom: func(*Job) any { panic("alpha") }},
+		{Label: "fine", Custom: func(*Job) any { return nil }},
+		{Label: "second-bad", Custom: func(*Job) any { panic("beta") }},
+	}
+	_, err := (&Context{Workers: 3}).Run(jobs)
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	msg := err.Error()
+	ai, bi := strings.Index(msg, "alpha"), strings.Index(msg, "beta")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("errors not joined in declaration order: %q", msg)
+	}
+	if jobs[0].Err() == nil || jobs[1].Err() != nil || jobs[2].Err() == nil {
+		t.Errorf("per-job errors: %v / %v / %v", jobs[0].Err(), jobs[1].Err(), jobs[2].Err())
+	}
+}
+
+func TestWriteArtifactAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.csv")
+	if err := WriteArtifact(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "a,b\n1,2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "a,b\n1,2\n" {
+		t.Fatalf("artifact content = %q, err = %v", got, err)
+	}
+
+	// A failing render must leave the previous version untouched and no
+	// temporary files behind.
+	renderErr := errors.New("simulated crash mid-render")
+	err = WriteArtifact(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return renderErr
+	})
+	if !errors.Is(err, renderErr) {
+		t.Fatalf("render error not propagated: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "a,b\n1,2\n" {
+		t.Errorf("failed render clobbered the artifact: %q, err = %v", got, err)
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		for _, e := range ents {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Errorf("%d directory entries after failed render, want 1", len(ents))
+	}
+
+	// A fresh path with a failing render must not create the file at all.
+	missing := filepath.Join(t.TempDir(), "never.csv")
+	if err := WriteArtifact(missing, func(io.Writer) error { return renderErr }); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Errorf("failed render created the artifact: %v", err)
+	}
+
+	// An unwritable directory errors instead of panicking.
+	if err := WriteArtifact("/nonexistent-dir/x.csv", func(io.Writer) error { return nil }); err == nil {
+		t.Error("expected error for unwritable directory")
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"memsim/internal/core"
@@ -23,8 +24,7 @@ func mustInjector(t *testing.T, cfg fault.InjectorConfig) *fault.Injector {
 func TestZeroRateInjectorMatchesNoInjector(t *testing.T) {
 	// The acceptance bar for the whole injection path: a zero-rate,
 	// event-free injector must reproduce the uninstrumented run exactly.
-	// Result is a comparable value, so == checks every statistic at full
-	// float precision.
+	// reflect.DeepEqual checks every statistic at full float precision.
 	d := mems.MustDevice(mems.DefaultConfig())
 	run := func(inj *fault.Injector) Result {
 		src := workload.DefaultRandom(900, 512, d.Capacity(), 3000, 17)
@@ -32,7 +32,7 @@ func TestZeroRateInjectorMatchesNoInjector(t *testing.T) {
 	}
 	plain := run(nil)
 	zero := run(mustInjector(t, fault.InjectorConfig{Seed: 1234}))
-	if plain != zero {
+	if !reflect.DeepEqual(plain, zero) {
 		t.Errorf("zero-rate injection diverged:\n  plain: %+v\n  zero:  %+v", plain, zero)
 	}
 
@@ -40,7 +40,7 @@ func TestZeroRateInjectorMatchesNoInjector(t *testing.T) {
 		src := workload.DefaultRandom(900, 512, d.Capacity(), 2000, 29)
 		return RunClosed(nil, d, src, Options{Warmup: 100, Injector: inj})
 	}
-	if p, z := closed(nil), closed(mustInjector(t, fault.InjectorConfig{Seed: 99})); p != z {
+	if p, z := closed(nil), closed(mustInjector(t, fault.InjectorConfig{Seed: 99})); !reflect.DeepEqual(p, z) {
 		t.Errorf("closed zero-rate injection diverged:\n  plain: %+v\n  zero:  %+v", p, z)
 	}
 }
@@ -180,7 +180,7 @@ func TestInjectionDeterministic(t *testing.T) {
 		cfg.Seed = 77
 		return Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 100, Injector: mustInjector(t, cfg)})
 	}
-	if a, b := run(), run(); a != b {
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
 		t.Errorf("injected runs differ:\n  %+v\n  %+v", a, b)
 	}
 }
@@ -205,5 +205,73 @@ func TestDiskRecoveryCostlierThanMEMS(t *testing.T) {
 	diskCost := perError(disk.MustDevice(disk.Atlas10K()))
 	if diskCost <= memsCost*2 {
 		t.Errorf("disk per-error recovery %.3f ms vs MEMS %.3f ms: want disk ≫ MEMS", diskCost, memsCost)
+	}
+}
+
+func TestDataLossSurfacesAndRefusesService(t *testing.T) {
+	// Satellite: when scheduled tip failures exhaust spares and the ECC
+	// budget of a stripe, the run must mark DataLoss, and reads touching
+	// the lost sectors must complete as failed — never silently served.
+	d := &fixedDevice{svc: 1}
+	arr := fault.Config{Tips: 66, DataTips: 64, ECCTips: 2, SpareTips: 0}
+	cfg := fault.InjectorConfig{
+		Array: &arr,
+		// Three failures in one stripe group exceed the 2-tip ECC budget.
+		Events: []fault.TipEvent{
+			{AtMs: 0, Tip: 0},
+			{AtMs: 0, Tip: 1},
+			{AtMs: 0, Tip: 2},
+		},
+		// Low LBNs live on a dead tip; high LBNs on a healthy one.
+		SectorTips: func(lbn int64) []int {
+			if lbn < 50 {
+				return []int{0}
+			}
+			return []int{40}
+		},
+	}
+	var reqs []*core.Request
+	for i := 0; i < 30; i++ {
+		lbn := int64(0) // lost
+		if i%3 == 0 {
+			lbn = 1000 // healthy
+		}
+		reqs = append(reqs, &core.Request{Arrival: float64(i), Op: core.Read, LBN: lbn, Blocks: 1})
+	}
+	res := Run(nil, d, sched.NewFCFS(), workload.NewFromSlice(reqs), Options{Injector: mustInjector(t, cfg)})
+	if !res.DataLoss {
+		t.Fatal("run with an over-budget stripe did not surface DataLoss")
+	}
+	if res.LostReads != 20 {
+		t.Errorf("lost reads = %d, want 20", res.LostReads)
+	}
+	if res.FailedRequests != 20 {
+		t.Errorf("failed requests = %d, want 20", res.FailedRequests)
+	}
+	// Healthy sectors keep serving, and lost reads stay out of the
+	// measured statistics.
+	if res.Requests != 10 {
+		t.Errorf("measured requests = %d, want 10", res.Requests)
+	}
+	if res.Response.N() != int64(res.Requests) {
+		t.Errorf("response samples %d ≠ measured requests %d", res.Response.N(), res.Requests)
+	}
+	// Lost reads must not be requeued or retried — the data is gone.
+	if res.Retries != 0 || res.Requeues != 0 {
+		t.Errorf("lost reads retried: retries=%d requeues=%d", res.Retries, res.Requeues)
+	}
+
+	// Writes to lost sectors still land (they rewrite the data); only
+	// reads fail.
+	var wreqs []*core.Request
+	for i := 0; i < 10; i++ {
+		wreqs = append(wreqs, &core.Request{Arrival: float64(i), Op: core.Write, LBN: 0, Blocks: 1})
+	}
+	wres := Run(nil, d, sched.NewFCFS(), workload.NewFromSlice(wreqs), Options{Injector: mustInjector(t, cfg)})
+	if wres.FailedRequests != 0 || wres.LostReads != 0 {
+		t.Errorf("writes to lost sectors failed: %+v", wres)
+	}
+	if !wres.DataLoss {
+		t.Error("DataLoss flag dropped on the write-only run")
 	}
 }

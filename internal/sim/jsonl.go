@@ -68,15 +68,19 @@ func NewJSONLProbe(w io.Writer) *JSONLProbe {
 // Observe implements Probe.
 func (p *JSONLProbe) Observe(ev ProbeEvent) {
 	rec := jsonlRecord{
-		Event:     ev.Kind.String(),
-		TimeMs:    ev.Time,
-		Run:       ev.Run,
-		Dev:       ev.Dev,
-		Op:        ev.Req.Op.String(),
-		LBN:       ev.Req.LBN,
-		Blocks:    ev.Req.Blocks,
-		ArrivalMs: ev.Req.Arrival,
-		Queue:     ev.Queue,
+		Event:  ev.Kind.String(),
+		TimeMs: ev.Time,
+		Run:    ev.Run,
+		Dev:    ev.Dev,
+		Queue:  ev.Queue,
+	}
+	// Volume lifecycle events (device-fail, rebuild-start/done) carry no
+	// request.
+	if ev.Req != nil {
+		rec.Op = ev.Req.Op.String()
+		rec.LBN = ev.Req.LBN
+		rec.Blocks = ev.Req.Blocks
+		rec.ArrivalMs = ev.Req.Arrival
 	}
 	switch ev.Kind {
 	case EventService, EventRetry:

@@ -18,13 +18,27 @@ type Router func(*core.Request) (dev int, devReq *core.Request)
 // database across two drives). It is event-driven: arrivals and
 // completions interleave on the EventQueue.
 //
-// The returned Result aggregates over all devices; response times are
-// measured per volume-level request. ctx (which may be nil) observes the
-// run's progress.
+// The returned Result aggregates over all devices and reports
+// per-member shares in Result.Members (with per-member phase
+// attribution when the probe carries a PhaseCollector); response times
+// are measured per volume-level request. ctx (which may be nil)
+// observes the run's progress.
+//
+// Configuration errors — no devices, mismatched device/scheduler
+// counts, a nil router or source, or a router that returns an
+// out-of-range member index mid-run — are returned as errors; in the
+// mid-run case the partial Result up to the faulty routing decision
+// accompanies the error.
 func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route Router,
-	src workload.Source, opts Options) Result {
+	src workload.Source, opts Options) (Result, error) {
 	if len(devs) == 0 || len(devs) != len(scheds) {
-		panic(fmt.Sprintf("sim: %d devices with %d schedulers", len(devs), len(scheds)))
+		return Result{}, fmt.Errorf("sim: %d devices with %d schedulers", len(devs), len(scheds))
+	}
+	if route == nil {
+		return Result{}, fmt.Errorf("sim: RunMulti needs a router")
+	}
+	if src == nil {
+		return Result{}, fmt.Errorf("sim: RunMulti needs a workload source")
 	}
 	for i := range devs {
 		devs[i].Reset()
@@ -34,12 +48,22 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 	resetProbe(p)
 	var res Result
 	var q EventQueue
+	var runErr error
 	busy := make([]bool, len(devs))
+	members := make([]MemberResult, len(devs))
+	var memberPhases []PhaseStats
+	if findPhaseCollector(p) != nil {
+		memberPhases = make([]PhaseStats, len(devs))
+	}
 	completed := 0
 	stopped := false
 
 	complete := func(dev int, r *core.Request, qlen int) {
 		completed++
+		members[dev].Requests++
+		if memberPhases != nil && completed > opts.Warmup {
+			memberPhases[dev].add(r.Phases)
+		}
 		ctx.progress(completed, q.Now())
 		if p != nil {
 			p.Observe(ProbeEvent{Kind: EventComplete, Time: q.Now(), Dev: dev, Req: r,
@@ -81,6 +105,7 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 		svc := devs[i].Access(r, now)
 		r.Finish = now + svc
 		res.Busy += svc
+		members[i].Busy += svc
 		if p != nil {
 			bd := breakdownOf(devs[i], svc)
 			r.Phases.Accumulate(bd)
@@ -99,7 +124,9 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 	arrive = func(r *core.Request) {
 		i, devReq := route(r)
 		if i < 0 || i >= len(devs) {
-			panic(fmt.Sprintf("sim: router sent request to device %d of %d", i, len(devs)))
+			runErr = fmt.Errorf("sim: router sent request to device %d of %d", i, len(devs))
+			stopped = true
+			return
 		}
 		// The device request carries the volume request's arrival time so
 		// response accounting is end-to-end; the router may return r
@@ -122,7 +149,13 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 	}
 	res.Elapsed = q.Now()
 	res.Phases = phaseStats(p)
-	return res
+	for i := range members {
+		if memberPhases != nil {
+			members[i].Phases = &memberPhases[i]
+		}
+	}
+	res.Members = members
+	return res, runErr
 }
 
 // ConcatRouter routes by address concatenation: device i holds the LBN

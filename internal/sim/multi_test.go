@@ -10,6 +10,17 @@ import (
 	"memsim/internal/workload"
 )
 
+// mustMulti runs RunMulti and fails the test on a configuration error.
+func mustMulti(t *testing.T, ctx *Context, devs []core.Device, scheds []core.Scheduler,
+	route Router, src workload.Source, opts Options) Result {
+	t.Helper()
+	res, err := RunMulti(ctx, devs, scheds, route, src, opts)
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	return res
+}
+
 func multiFixtures(n int, svc float64) ([]core.Device, []core.Scheduler) {
 	devs := make([]core.Device, n)
 	scheds := make([]core.Scheduler, n)
@@ -27,7 +38,7 @@ func TestRunMultiParallelism(t *testing.T) {
 	for i, r := range reqs {
 		r.LBN = int64(i) * 100 // route one to each device
 	}
-	res := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	res := mustMulti(t, nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
 	if res.Requests != 4 {
 		t.Fatalf("requests = %d", res.Requests)
 	}
@@ -43,7 +54,7 @@ func TestRunMultiSerializesPerDevice(t *testing.T) {
 	// Four simultaneous arrivals onto one device of four: they queue.
 	devs, scheds := multiFixtures(4, 2)
 	reqs := mkReqs([]float64{0, 0, 0, 0})
-	res := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	res := mustMulti(t, nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
 	if res.Response.Max() != 8 {
 		t.Errorf("max response = %g, want 8 (serialized)", res.Response.Max())
 	}
@@ -57,7 +68,7 @@ func TestRunMultiMatchesSingleDeviceRun(t *testing.T) {
 
 	d2 := mems.MustDevice(mems.DefaultConfig())
 	src2 := workload.DefaultRandom(900, 512, d2.Capacity(), 3000, 9)
-	multi := RunMulti(nil, []core.Device{d2}, []core.Scheduler{sched.NewFCFS()},
+	multi := mustMulti(t, nil, []core.Device{d2}, []core.Scheduler{sched.NewFCFS()},
 		ConcatRouter(d2.Capacity()), src2, Options{Warmup: 100})
 
 	if math.Abs(single.Response.Mean()-multi.Response.Mean()) > 1e-9 {
@@ -81,11 +92,11 @@ func TestRunMultiScalesThroughput(t *testing.T) {
 	}
 	devs1, scheds1, cap1 := mk(1)
 	src := workload.DefaultRandom(2000, 512, cap1, 6000, 4)
-	one := RunMulti(nil, devs1, scheds1, ConcatRouter(cap1), src, Options{Warmup: 500})
+	one := mustMulti(t, nil, devs1, scheds1, ConcatRouter(cap1), src, Options{Warmup: 500})
 
 	devs4, scheds4, cap4 := mk(4)
 	src4 := workload.DefaultRandom(2000, 512, 4*cap4, 6000, 4)
-	four := RunMulti(nil, devs4, scheds4, ConcatRouter(cap4), src4, Options{Warmup: 500})
+	four := mustMulti(t, nil, devs4, scheds4, ConcatRouter(cap4), src4, Options{Warmup: 500})
 
 	if four.Response.Mean()*3 > one.Response.Mean() {
 		t.Errorf("4-device volume %.2f ms should be far below saturated single %.2f ms",
@@ -96,30 +107,80 @@ func TestRunMultiScalesThroughput(t *testing.T) {
 func TestRunMultiMaxRequests(t *testing.T) {
 	devs, scheds := multiFixtures(2, 1)
 	src := workload.NewFromSlice(mkReqs(make([]float64, 50)))
-	res := RunMulti(nil, devs, scheds, ConcatRouter(1<<29), src, Options{MaxRequests: 7})
+	res := mustMulti(t, nil, devs, scheds, ConcatRouter(1<<29), src, Options{MaxRequests: 7})
 	if res.Requests != 7 {
 		t.Errorf("requests = %d, want 7", res.Requests)
 	}
 }
 
-func TestRunMultiPanics(t *testing.T) {
+func TestRunMultiErrors(t *testing.T) {
 	devs, scheds := multiFixtures(2, 1)
-	for _, f := range []func(){
-		func() { RunMulti(nil, nil, nil, nil, nil, Options{}) },
-		func() { RunMulti(nil, devs, scheds[:1], nil, nil, Options{}) },
-		func() {
+	src := func() workload.Source { return workload.NewFromSlice(mkReqs([]float64{0})) }
+	cases := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"no devices", func() (Result, error) {
+			return RunMulti(nil, nil, nil, ConcatRouter(100), src(), Options{})
+		}},
+		{"count mismatch", func() (Result, error) {
+			return RunMulti(nil, devs, scheds[:1], ConcatRouter(100), src(), Options{})
+		}},
+		{"nil router", func() (Result, error) {
+			return RunMulti(nil, devs, scheds, nil, src(), Options{})
+		}},
+		{"nil source", func() (Result, error) {
+			return RunMulti(nil, devs, scheds, ConcatRouter(100), nil, Options{})
+		}},
+		{"router out of range", func() (Result, error) {
 			bad := func(*core.Request) (int, *core.Request) { return 5, &core.Request{Blocks: 1} }
-			RunMulti(nil, devs, scheds, bad, workload.NewFromSlice(mkReqs([]float64{0})), Options{})
-		},
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+			return RunMulti(nil, devs, scheds, bad, src(), Options{})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.run(); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestRunMultiMemberAttribution(t *testing.T) {
+	// Three requests to device 0, one to device 1: Members must split
+	// the per-device shares while the aggregate covers both.
+	devs, scheds := multiFixtures(2, 2)
+	reqs := mkReqs([]float64{0, 1, 2, 3})
+	reqs[3].LBN = 100 // route to device 1
+	res := mustMulti(t, nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs), Options{})
+	if len(res.Members) != 2 {
+		t.Fatalf("members = %d, want 2", len(res.Members))
+	}
+	if res.Members[0].Requests != 3 || res.Members[1].Requests != 1 {
+		t.Errorf("member requests = %d,%d, want 3,1",
+			res.Members[0].Requests, res.Members[1].Requests)
+	}
+	if res.Members[0].Busy != 6 || res.Members[1].Busy != 2 {
+		t.Errorf("member busy = %g,%g, want 6,2", res.Members[0].Busy, res.Members[1].Busy)
+	}
+	if got := res.Members[0].Busy + res.Members[1].Busy; got != res.Busy {
+		t.Errorf("member busy sum %g != total %g", got, res.Busy)
+	}
+	if res.Members[0].Phases != nil {
+		t.Error("member phases present without a PhaseCollector")
+	}
+
+	// With a PhaseCollector, per-member phases appear and their request
+	// counts match the member split.
+	pc := NewPhaseCollector()
+	reqs2 := mkReqs([]float64{0, 1, 2, 3})
+	reqs2[3].LBN = 100
+	res2 := mustMulti(t, nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs2),
+		Options{Probe: pc})
+	if res2.Members[0].Phases == nil || res2.Members[1].Phases == nil {
+		t.Fatal("member phases missing with a PhaseCollector")
+	}
+	if res2.Members[0].Phases.Requests != 3 || res2.Members[1].Phases.Requests != 1 {
+		t.Errorf("member phase requests = %d,%d, want 3,1",
+			res2.Members[0].Phases.Requests, res2.Members[1].Phases.Requests)
 	}
 }
 

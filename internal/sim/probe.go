@@ -26,6 +26,17 @@ const (
 	EventRequeue
 	// EventComplete fires when a request leaves the system.
 	EventComplete
+	// EventDeviceFail fires when a scheduled whole-device failure flips
+	// a volume member into the failed state (RunVolume); Dev is the
+	// failed member slot. Req is nil.
+	EventDeviceFail
+	// EventRebuildStart fires when an online rebuild onto a hot spare
+	// begins; Dev is the member slot being rebuilt. Req is nil.
+	EventRebuildStart
+	// EventRebuildDone fires when the rebuild completes and the spare
+	// permanently backs the failed slot; Dev is the rebuilt member
+	// slot. Req is nil.
+	EventRebuildDone
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +54,12 @@ func (k EventKind) String() string {
 		return "requeue"
 	case EventComplete:
 		return "complete"
+	case EventDeviceFail:
+		return "device-fail"
+	case EventRebuildStart:
+		return "rebuild-start"
+	case EventRebuildDone:
+		return "rebuild-done"
 	default:
 		return "unknown"
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"memsim/internal/core"
@@ -43,7 +44,7 @@ func TestNilProbeByteIdentical(t *testing.T) {
 		src := workload.DefaultRandom(1100, 512, d.Capacity(), 3000, 7)
 		return Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 200, Probe: p})
 	}
-	if plain, probed := run(nil), run(&recordingProbe{}); plain != probed {
+	if plain, probed := run(nil), run(&recordingProbe{}); !reflect.DeepEqual(plain, probed) {
 		t.Errorf("probed open run diverged:\n  plain:  %+v\n  probed: %+v", plain, probed)
 	}
 
@@ -51,16 +52,20 @@ func TestNilProbeByteIdentical(t *testing.T) {
 		src := workload.DefaultRandom(900, 512, d.Capacity(), 2000, 11)
 		return RunClosed(nil, d, src, Options{Warmup: 100, Probe: p})
 	}
-	if plain, probed := closed(nil), closed(&recordingProbe{}); plain != probed {
+	if plain, probed := closed(nil), closed(&recordingProbe{}); !reflect.DeepEqual(plain, probed) {
 		t.Errorf("probed closed run diverged:\n  plain:  %+v\n  probed: %+v", plain, probed)
 	}
 
 	multi := func(p Probe) Result {
 		devs, scheds := multiFixtures(2, 1.5)
 		src := workload.NewFromSlice(mkReqs(make([]float64, 200)))
-		return RunMulti(nil, devs, scheds, ConcatRouter(1<<29), src, Options{Warmup: 20, Probe: p})
+		res, err := RunMulti(nil, devs, scheds, ConcatRouter(1<<29), src, Options{Warmup: 20, Probe: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	if plain, probed := multi(nil), multi(&recordingProbe{}); plain != probed {
+	if plain, probed := multi(nil), multi(&recordingProbe{}); !reflect.DeepEqual(plain, probed) {
 		t.Errorf("probed multi run diverged:\n  plain:  %+v\n  probed: %+v", plain, probed)
 	}
 
@@ -76,7 +81,7 @@ func TestNilProbeByteIdentical(t *testing.T) {
 		src := workload.DefaultRandom(1100, 512, d.Capacity(), 2000, 13)
 		return Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 100, Injector: inj, Probe: p})
 	}
-	if plain, probed := faulty(nil), faulty(&recordingProbe{}); plain != probed {
+	if plain, probed := faulty(nil), faulty(&recordingProbe{}); !reflect.DeepEqual(plain, probed) {
 		t.Errorf("probed faulty run diverged:\n  plain:  %+v\n  probed: %+v", plain, probed)
 	}
 }
@@ -252,7 +257,10 @@ func TestPhaseCollectorInClosedAndMultiRuns(t *testing.T) {
 	per := devs[0].Capacity()
 	gen := workload.DefaultRandom(1500, 512, 2*per, 1000, 43)
 	pc2 := NewPhaseCollector()
-	mres := RunMulti(nil, devs, scheds, ConcatRouter(per), gen, Options{Warmup: 50, Probe: pc2})
+	mres, err := RunMulti(nil, devs, scheds, ConcatRouter(per), gen, Options{Warmup: 50, Probe: pc2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mres.Phases == nil || mres.Phases.Requests != mres.Requests {
 		t.Fatalf("multi run phases = %+v, requests %d", mres.Phases, mres.Requests)
 	}
@@ -327,8 +335,11 @@ func TestRunMultiProbeEvents(t *testing.T) {
 	for i, r := range reqs {
 		r.LBN = int64(i%2) * 100
 	}
-	res := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs),
+	res, err := RunMulti(nil, devs, scheds, ConcatRouter(100), workload.NewFromSlice(reqs),
 		Options{Warmup: 10, Probe: rp})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rp.count(EventArrive) != 40 || rp.count(EventDispatch) != 40 ||
 		rp.count(EventService) != 40 || rp.count(EventComplete) != 40 {
 		t.Errorf("event counts: arrive=%d dispatch=%d service=%d complete=%d, want 40 each",

@@ -118,9 +118,42 @@ type Result struct {
 	// RecoveryMs is the total added recovery time in ms (retry penalties
 	// plus ECC surcharges).
 	RecoveryMs float64
+	// LostReads is the number of reads that addressed unrecoverable
+	// sectors (a stripe past its ECC budget, or a lost volume) and
+	// completed in error instead of being silently served. Each is also
+	// counted in FailedRequests.
+	LostReads int
+	// DataLoss reports that the run ended with unrecoverable data: the
+	// injector's tip array exceeded its ECC budget in some stripe, or a
+	// redundant volume suffered a second concurrent member failure.
+	DataLoss bool
 
 	// Phases holds the per-phase service aggregates when the run's Probe
 	// contained a PhaseCollector; nil otherwise.
+	Phases *PhaseStats
+
+	// Members holds per-member-device aggregates for multi-queue runs
+	// (RunMulti, RunVolume); nil for single-device runs.
+	Members []MemberResult
+	// Volume holds redundancy/failover aggregates for RunVolume runs;
+	// nil otherwise.
+	Volume *VolumeStats
+}
+
+// MemberResult aggregates one member device's share of a multi-queue
+// run.
+type MemberResult struct {
+	// Requests counts the member-level operations the device served
+	// (whole volume requests for RunMulti; member ops — including
+	// rebuild traffic — for RunVolume). The entire run is covered,
+	// warmup included.
+	Requests int
+	// Busy is the device's total busy time in ms.
+	Busy float64
+	// Phases holds the member's per-phase service aggregates when the
+	// run's Probe contained a PhaseCollector; nil otherwise. RunMulti
+	// folds one observation per measured completed request; RunVolume
+	// folds one per service visit (rebuild visits included).
 	Phases *PhaseStats
 }
 
@@ -171,6 +204,16 @@ func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, 
 	svc = d.Access(r, now)
 	if p != nil {
 		bd = breakdownOf(d, svc)
+	}
+	if r.Op == core.Read && inj.LostBlocks(r.LBN, r.Blocks) > 0 {
+		// The addressed sectors are unrecoverable (stripe past its ECC
+		// budget): the request fails outright — no retry or requeue can
+		// bring the data back, and serving it silently would be a
+		// correctness bug, not a performance event.
+		r.Failed = true
+		res.LostReads++
+		serviced()
+		return svc, false
 	}
 	retries := 0
 	for inj.TransientError() {
@@ -327,6 +370,9 @@ func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opt
 	}
 	res.Elapsed = now
 	res.Phases = phaseStats(p)
+	if inj != nil && inj.Array() != nil {
+		res.DataLoss = inj.Array().DataLoss()
+	}
 	return res
 }
 
@@ -393,6 +439,9 @@ func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) R
 	}
 	res.Elapsed = now
 	res.Phases = phaseStats(p)
+	if inj != nil && inj.Array() != nil {
+		res.DataLoss = inj.Array().DataLoss()
+	}
 	return res
 }
 

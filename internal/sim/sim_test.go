@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestRunDeterministic(t *testing.T) {
 		res := Run(nil, d, sched.NewSPTF(), src, Options{Warmup: 100})
 		return res.Response.Mean()
 	}
-	if a, b := run(), run(); a != b {
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
 		t.Errorf("runs differ: %g vs %g", a, b)
 	}
 }

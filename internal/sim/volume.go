@@ -1,0 +1,556 @@
+// volume.go drives a redundant multi-queue volume (array.Volume)
+// through whole-device failure, degraded-mode service, and online
+// hot-spare rebuild — the array-scale counterpart of the §6 in-device
+// failure machinery. RunVolume is event-driven like RunMulti, but a
+// volume request fans out into fork-join phases of member operations
+// (mirror replica writes, parity read-modify-write, k-peer degraded
+// reconstruction), and a background rebuild process injects throttled
+// chunk scans into the same member queues, competing with foreground
+// traffic under the configured schedulers.
+package sim
+
+import (
+	"fmt"
+
+	"memsim/internal/array"
+	"memsim/internal/core"
+	"memsim/internal/stats"
+	"memsim/internal/workload"
+)
+
+// DefaultRebuildChunk is the rebuild scan unit in sectors when
+// VolumeSpec.RebuildChunk is zero — one MEMS cylinder, matching the
+// offline estimate in array.RebuildTime.
+const DefaultRebuildChunk = 2700
+
+// VolumeSpec describes a redundant volume run: the geometry/state
+// machine, its physical member and spare devices (one scheduler queue
+// each), and the online-rebuild policy.
+type VolumeSpec struct {
+	// Volume is the redundancy state machine; RunVolume resets it.
+	Volume *array.Volume
+	// Devices backs the volume's member slots then spares, in order;
+	// len(Devices) must equal Volume.Config().Devices() and every
+	// device must hold at least PerMember sectors.
+	Devices []core.Device
+	// Scheds provides one scheduler queue per device.
+	Scheds []core.Scheduler
+	// RebuildChunk is the rebuild scan unit in sectors (0 selects
+	// DefaultRebuildChunk).
+	RebuildChunk int
+	// RebuildFrac throttles the rebuild in (0,1]: after each chunk the
+	// rebuilder idles so rebuild I/O occupies roughly this fraction of
+	// its timeline (1, or 0 for the default, rebuilds flat out).
+	RebuildFrac float64
+}
+
+// VolumeStats aggregates a RunVolume run's redundancy and failover
+// activity. Counters cover the whole run, warmup included.
+type VolumeStats struct {
+	// DeviceFailures counts the scheduled whole-device failures fired.
+	DeviceFailures int
+	// RebuildsStarted and RebuildsDone count online rebuilds begun onto
+	// a hot spare and completed (the spare permanently replacing the
+	// failed member).
+	RebuildsStarted, RebuildsDone int
+	// RebuildChunks counts completed rebuild scan units.
+	RebuildChunks int
+	// RebuildMs sums failure→re-protected windows over completed
+	// rebuilds: the volume's MTTR.
+	RebuildMs float64
+	// DegradedMs is the total time the volume served with reduced
+	// redundancy (failed member not yet rebuilt, or data lost).
+	DegradedMs float64
+	// RebuildBusy is the member busy time consumed by rebuild I/O in ms.
+	RebuildBusy float64
+	// DegradedReads counts foreground reads served by peer
+	// reconstruction (mirror survivor fallback is full-speed and not
+	// counted; parity reconstruction is).
+	DegradedReads int
+	// DegradedWrites counts foreground writes executed with reduced
+	// redundancy.
+	DegradedWrites int
+	// SpareReads counts foreground reads satisfied from the rebuilt
+	// prefix of the hot spare mid-rebuild.
+	SpareReads int
+	// LostRequests counts foreground requests that completed in error
+	// because their data was unreachable (lost volume or mid-flight
+	// second failure).
+	LostRequests int
+	// Healthy and Degraded split measured foreground response times
+	// (ms) by the volume's redundancy state at completion, so the
+	// foreground penalty of degraded mode and rebuild interference is
+	// directly readable (p95 included).
+	Healthy, Degraded stats.Dist
+}
+
+// volReq tracks one in-flight volume-level intent — a foreground
+// request or a background rebuild chunk — through its fork-join phases
+// of member operations.
+type volReq struct {
+	r      *core.Request
+	phases [][]array.MemberOp
+	// phase indexes the executing entry of phases; outstanding counts
+	// its member ops still in flight.
+	phase       int
+	outstanding int
+	// epoch is the volume redundancy generation the plan was made
+	// under; a mismatch at issue time forces re-resolution of the
+	// remaining phases against the new state.
+	epoch int
+	// started latches the first member-op dispatch (r.Start).
+	started bool
+	// qlen is the largest scheduler queue length any member op saw at
+	// dispatch.
+	qlen int
+
+	rebuild     bool
+	chunkBlocks int
+	chunkStart  float64
+
+	degradedRead  bool
+	degradedWrite bool
+	spareRead     bool
+}
+
+// RunVolume drives an open-arrival workload over a redundant volume.
+// Arrivals plan into member operations under the volume's current
+// redundancy state; scheduled device failures (Options.Injector's
+// device-event schedule — its other fault classes are not consumed
+// here) flip members mid-run, after which reads are reconstructed from
+// peers, writes pay the redundancy-update penalty, and a hot spare (if
+// configured) is rebuilt online by throttled background chunk scans
+// competing in the same member queues.
+//
+// Member-level operations emit arrive/dispatch/service probe events
+// (Dev = physical device index); volume-level requests emit complete
+// events; failover emits EventDeviceFail/EventRebuildStart/
+// EventRebuildDone (Dev = member slot, Req = nil). Response statistics
+// are per volume-level request; rebuild traffic is excluded from them
+// but reported in Result.Volume.
+//
+// With no device failures scheduled the run is deterministic and
+// behaviorally identical to a healthy volume.
+func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options) (Result, error) {
+	v := spec.Volume
+	if v == nil {
+		return Result{}, fmt.Errorf("sim: RunVolume needs a volume")
+	}
+	cfg := v.Config()
+	devs, scheds := spec.Devices, spec.Scheds
+	if len(devs) != cfg.Devices() || len(devs) != len(scheds) {
+		return Result{}, fmt.Errorf("sim: volume wants %d devices, got %d devices with %d schedulers",
+			cfg.Devices(), len(devs), len(scheds))
+	}
+	if src == nil {
+		return Result{}, fmt.Errorf("sim: RunVolume needs a workload source")
+	}
+	for i, d := range devs {
+		if d.Capacity() < cfg.PerMember {
+			return Result{}, fmt.Errorf("sim: device %d (%s) holds %d sectors, member needs %d",
+				i, d.Name(), d.Capacity(), cfg.PerMember)
+		}
+	}
+	chunk := spec.RebuildChunk
+	if chunk == 0 {
+		chunk = DefaultRebuildChunk
+	}
+	if chunk < 0 {
+		return Result{}, fmt.Errorf("sim: negative rebuild chunk %d", chunk)
+	}
+	frac := spec.RebuildFrac
+	if frac == 0 {
+		frac = 1
+	}
+	if frac < 0 || frac > 1 {
+		return Result{}, fmt.Errorf("sim: rebuild fraction %g out of (0,1]", spec.RebuildFrac)
+	}
+	inj := opts.Injector
+	if inj != nil {
+		for _, ev := range inj.DeviceEvents() {
+			if ev.Dev >= cfg.Members {
+				return Result{}, fmt.Errorf("sim: device failure targets member slot %d of %d",
+					ev.Dev, cfg.Members)
+			}
+		}
+		inj.Reset()
+	}
+
+	v.Reset()
+	for i := range devs {
+		devs[i].Reset()
+		scheds[i].Reset()
+	}
+	p := opts.Probe
+	resetProbe(p)
+
+	var (
+		res    Result
+		vstats VolumeStats
+		q      EventQueue
+	)
+	busy := make([]bool, len(devs))
+	members := make([]MemberResult, len(devs))
+	var memberPhases []PhaseStats
+	if findPhaseCollector(p) != nil {
+		memberPhases = make([]PhaseStats, len(devs))
+	}
+	// opmap resolves a queued member request back to its volume intent;
+	// entries are deleted at dispatch (and at failure-time drains), and
+	// the map is never iterated, so determinism is preserved.
+	opmap := make(map[*core.Request]*volReq)
+	completed := 0
+	stopped := false
+	// degradedSince and failStart track the open degraded window and
+	// the active failure for MTTR accounting; -1 when closed.
+	degradedSince := -1.0
+	failStart := -1.0
+
+	var (
+		dispatch   func(i int)
+		issue      func(vr *volReq, now float64)
+		startChunk func(now float64)
+	)
+
+	enqueue := func(vr *volReq, op array.MemberOp, now float64) {
+		dev := v.DeviceOf(op.Slot)
+		mr := &core.Request{Arrival: vr.r.Arrival, Op: op.Op, LBN: op.LBN, Blocks: op.Blocks}
+		opmap[mr] = vr
+		scheds[dev].Add(mr)
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Dev: dev, Req: mr,
+				Queue: scheds[dev].Len()})
+		}
+		dispatch(dev)
+	}
+
+	// remap re-resolves the remaining phases of a stale plan against the
+	// current redundancy state (after a failure or completed rebuild);
+	// it may mark the parent request failed when its data is gone.
+	remap := func(vr *volReq) {
+		vr.epoch = v.Epoch()
+		for pi := vr.phase; pi < len(vr.phases); pi++ {
+			var resolved []array.MemberOp
+			for _, op := range vr.phases[pi] {
+				repl, recon, ok := v.ReplaceDeadOp(op)
+				if !ok {
+					vr.r.Failed = true
+				}
+				if recon && !vr.rebuild && vr.r.Op == core.Read {
+					vr.degradedRead = true
+				}
+				resolved = append(resolved, repl...)
+			}
+			vr.phases[pi] = resolved
+		}
+	}
+
+	finishReq := func(vr *volReq, now float64) {
+		r := vr.r
+		r.Finish = now
+		r.Degraded = vr.degradedRead
+		completed++
+		ctx.progress(completed, now)
+		measured := completed > opts.Warmup && !r.Failed
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r, Measured: measured})
+		}
+		if opts.OnComplete != nil {
+			opts.OnComplete(r)
+		}
+		if r.Failed {
+			res.FailedRequests++
+			vstats.LostRequests++
+			if r.Op == core.Read {
+				res.LostReads++
+			}
+		}
+		if vr.degradedRead {
+			res.DegradedReads++
+			vstats.DegradedReads++
+		}
+		if vr.degradedWrite {
+			vstats.DegradedWrites++
+		}
+		if vr.spareRead {
+			vstats.SpareReads++
+		}
+		if measured {
+			res.Requests++
+			resp := r.ResponseTime()
+			res.Response.Add(resp)
+			res.Service.Add(r.ServiceTime())
+			res.QueueLen.Add(float64(vr.qlen))
+			if vr.qlen > res.MaxQueue {
+				res.MaxQueue = vr.qlen
+			}
+			if v.Degraded() || v.Lost() {
+				vstats.Degraded.Add(resp)
+			} else {
+				vstats.Healthy.Add(resp)
+			}
+		}
+		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
+			stopped = true
+		}
+	}
+
+	chunkDone := func(vr *volReq, now float64) {
+		if vr.r.Failed || v.Lost() || !v.Rebuilding() {
+			return // a second failure killed the rebuild mid-chunk
+		}
+		vstats.RebuildChunks++
+		v.Advance(vr.chunkBlocks)
+		if v.RebuildDone() {
+			slot := v.Failed()
+			v.FinishRebuild()
+			vstats.RebuildsDone++
+			vstats.RebuildMs += now - failStart
+			vstats.DegradedMs += now - degradedSince
+			degradedSince, failStart = -1, -1
+			if p != nil {
+				p.Observe(ProbeEvent{Kind: EventRebuildDone, Time: now, Dev: slot})
+			}
+			return
+		}
+		// Throttle: idle after each chunk so rebuild I/O occupies ~frac
+		// of the rebuilder's timeline.
+		gap := 0.0
+		if frac < 1 {
+			gap = (now - vr.chunkStart) * (1 - frac) / frac
+		}
+		q.Schedule(now+gap, func() { startChunk(q.Now()) })
+	}
+
+	finish := func(vr *volReq, now float64) {
+		if vr.rebuild {
+			chunkDone(vr, now)
+			return
+		}
+		finishReq(vr, now)
+	}
+
+	// issue advances a volume intent to its next non-empty phase and
+	// forks that phase's member operations into the queues.
+	issue = func(vr *volReq, now float64) {
+		for {
+			if vr.epoch != v.Epoch() {
+				remap(vr)
+			}
+			if vr.r.Failed || vr.phase >= len(vr.phases) {
+				finish(vr, now)
+				return
+			}
+			ops := vr.phases[vr.phase]
+			if len(ops) == 0 {
+				vr.phase++
+				continue
+			}
+			vr.outstanding = len(ops)
+			for _, op := range ops {
+				enqueue(vr, op, now)
+			}
+			return
+		}
+	}
+
+	opDone := func(vr *volReq, now float64) {
+		vr.outstanding--
+		if vr.outstanding > 0 {
+			return
+		}
+		vr.phase++
+		issue(vr, now)
+	}
+
+	dispatch = func(i int) {
+		if busy[i] || stopped {
+			return
+		}
+		now := q.Now()
+		qlen := scheds[i].Len()
+		mr := scheds[i].Next(devs[i], now)
+		if mr == nil {
+			return
+		}
+		busy[i] = true
+		vr := opmap[mr]
+		delete(opmap, mr)
+		if !vr.started {
+			vr.started = true
+			vr.r.Start = now
+		}
+		if qlen > vr.qlen {
+			vr.qlen = qlen
+		}
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: mr, Queue: qlen})
+		}
+		svc := devs[i].Access(mr, now)
+		mr.Start, mr.Finish = now, now+svc
+		members[i].Requests++
+		members[i].Busy += svc
+		res.Busy += svc
+		if vr.rebuild {
+			vstats.RebuildBusy += svc
+		}
+		if p != nil {
+			bd := breakdownOf(devs[i], svc)
+			vr.r.Phases.Accumulate(bd)
+			if memberPhases != nil {
+				memberPhases[i].add(bd)
+			}
+			p.Observe(ProbeEvent{Kind: EventService, Time: now + svc, Dev: i, Req: mr, Breakdown: bd})
+		}
+		q.Schedule(now+svc, func() {
+			busy[i] = false
+			opDone(vr, q.Now())
+			dispatch(i)
+		})
+	}
+
+	startChunk = func(now float64) {
+		if stopped || v.Lost() || !v.Rebuilding() {
+			return
+		}
+		plan, blocks := v.PlanRebuildChunk(chunk)
+		if blocks == 0 {
+			return
+		}
+		vr := &volReq{
+			r:           &core.Request{Arrival: now, Op: core.Read, LBN: -1, Blocks: blocks},
+			phases:      plan.Phases,
+			epoch:       v.Epoch(),
+			rebuild:     true,
+			chunkBlocks: blocks,
+			chunkStart:  now,
+		}
+		issue(vr, now)
+	}
+
+	// drainDead empties a dead device's queue, re-resolving each queued
+	// member operation against the post-failure state (peer
+	// reconstruction, spare redirection, or dropped redundancy writes);
+	// an op whose data is unreachable fails its parent request. The op
+	// in service, if any, completes normally — it was already on the
+	// bus when the device died.
+	drainDead := func(devIdx, slot int, now float64) {
+		for {
+			mr := scheds[devIdx].Next(devs[devIdx], now)
+			if mr == nil {
+				return
+			}
+			vr := opmap[mr]
+			delete(opmap, mr)
+			repl, recon, ok := v.ReplaceDeadOp(array.MemberOp{
+				Slot: slot, Op: mr.Op, LBN: mr.LBN, Blocks: mr.Blocks})
+			if !ok {
+				vr.r.Failed = true
+			}
+			if recon && !vr.rebuild && vr.r.Op == core.Read {
+				vr.degradedRead = true
+			}
+			vr.outstanding += len(repl) - 1
+			for _, rop := range repl {
+				enqueue(vr, rop, now)
+			}
+			if vr.outstanding == 0 {
+				vr.phase++
+				issue(vr, now)
+			}
+		}
+	}
+
+	failSlot := func(slot int, now float64) {
+		if v.Lost() || slot == v.Failed() {
+			return
+		}
+		deadDev := v.SlotDevice(slot)
+		first := !v.Degraded()
+		if err := v.Fail(slot); err != nil {
+			return // unreachable: slots were validated upfront
+		}
+		vstats.DeviceFailures++
+		if first {
+			degradedSince, failStart = now, now
+		}
+		if p != nil {
+			p.Observe(ProbeEvent{Kind: EventDeviceFail, Time: now, Dev: slot})
+		}
+		if v.Lost() {
+			res.DataLoss = true
+		}
+		drainDead(deadDev, slot, now)
+		if first && !v.Lost() && v.BeginRebuild() {
+			vstats.RebuildsStarted++
+			if p != nil {
+				p.Observe(ProbeEvent{Kind: EventRebuildStart, Time: now, Dev: slot})
+			}
+			startChunk(now)
+		}
+	}
+
+	// Arrival chain: plan each foreground request under the current
+	// redundancy state and fork its first phase.
+	var arrive func(r *core.Request)
+	arrive = func(r *core.Request) {
+		now := q.Now()
+		var (
+			plan array.Plan
+			ok   bool
+		)
+		if r.Op == core.Read {
+			plan, ok = v.PlanRead(r.LBN, r.Blocks)
+		} else {
+			plan, ok = v.PlanWrite(r.LBN, r.Blocks)
+		}
+		vr := &volReq{r: r, epoch: v.Epoch()}
+		if !ok {
+			// The addressed data is lost: fail without touching a device
+			// rather than silently serving stale sectors.
+			r.Failed = true
+			r.Start = now
+			vr.started = true
+		} else {
+			vr.phases = plan.Phases
+			if r.Op == core.Read {
+				vr.degradedRead = plan.Reconstructed
+				vr.spareRead = plan.SpareRead
+			} else {
+				vr.degradedWrite = plan.DegradedWrite
+			}
+		}
+		issue(vr, now)
+		if next := src.Next(); next != nil {
+			q.Schedule(next.Arrival, func() { arrive(next) })
+		}
+	}
+
+	if inj != nil {
+		for _, ev := range inj.DeviceEvents() {
+			ev := ev
+			q.Schedule(ev.AtMs, func() { failSlot(ev.Dev, q.Now()) })
+		}
+	}
+	if first := src.Next(); first != nil {
+		q.Schedule(first.Arrival, func() { arrive(first) })
+	}
+	for !stopped && q.Step() {
+	}
+	res.Elapsed = q.Now()
+	if degradedSince >= 0 {
+		vstats.DegradedMs += res.Elapsed - degradedSince
+	}
+	if v.Lost() {
+		res.DataLoss = true
+	}
+	res.Phases = phaseStats(p)
+	for i := range members {
+		if memberPhases != nil {
+			members[i].Phases = &memberPhases[i]
+		}
+	}
+	res.Members = members
+	res.Volume = &vstats
+	return res, nil
+}

@@ -1,0 +1,491 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"memsim/internal/array"
+	"memsim/internal/core"
+	"memsim/internal/fault"
+	"memsim/internal/mems"
+	"memsim/internal/sched"
+	"memsim/internal/workload"
+)
+
+// volFixtures builds a volume over fixed-service devices with FCFS
+// queues (constant svc isolates the failover logic from mechanics).
+func volFixtures(t *testing.T, cfg array.VolumeConfig, svc float64) VolumeSpec {
+	t.Helper()
+	v, err := array.NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Devices()
+	devs := make([]core.Device, n)
+	scheds := make([]core.Scheduler, n)
+	for i := range devs {
+		devs[i] = &fixedDevice{svc: svc}
+		scheds[i] = sched.NewFCFS()
+	}
+	return VolumeSpec{Volume: v, Devices: devs, Scheds: scheds}
+}
+
+func mirrorVolCfg() array.VolumeConfig {
+	return array.VolumeConfig{Level: array.VolMirror, Members: 2, Spares: 1, StripeUnit: 8, PerMember: 64}
+}
+
+func parityVolCfg() array.VolumeConfig {
+	return array.VolumeConfig{Level: array.VolParity, Members: 3, Spares: 1, StripeUnit: 8, PerMember: 64}
+}
+
+// volReqs builds Blocks=1 requests with the given arrivals, ops and
+// volume LBNs.
+func volReqs(arrivals []float64, op core.Op, lbns []int64) []*core.Request {
+	out := make([]*core.Request, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = &core.Request{Arrival: a, Op: op, LBN: lbns[i%len(lbns)], Blocks: 1}
+	}
+	return out
+}
+
+func devEvents(t *testing.T, evs ...fault.DeviceEvent) *fault.Injector {
+	t.Helper()
+	inj, err := fault.NewInjector(fault.InjectorConfig{DeviceEvents: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func TestRunVolumeErrors(t *testing.T) {
+	spec := volFixtures(t, mirrorVolCfg(), 1)
+	src := func() workload.Source { return workload.NewFromSlice(volReqs([]float64{0}, core.Read, []int64{0})) }
+	cases := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"nil volume", func() (Result, error) {
+			return RunVolume(nil, VolumeSpec{}, src(), Options{})
+		}},
+		{"device count", func() (Result, error) {
+			s := spec
+			s.Devices = s.Devices[:1]
+			return RunVolume(nil, s, src(), Options{})
+		}},
+		{"nil source", func() (Result, error) {
+			return RunVolume(nil, spec, nil, Options{})
+		}},
+		{"bad fraction", func() (Result, error) {
+			s := spec
+			s.RebuildFrac = 1.5
+			return RunVolume(nil, s, src(), Options{})
+		}},
+		{"negative chunk", func() (Result, error) {
+			s := spec
+			s.RebuildChunk = -1
+			return RunVolume(nil, s, src(), Options{})
+		}},
+		{"member too small", func() (Result, error) {
+			cfg := mirrorVolCfg()
+			cfg.PerMember = 1 << 40
+			cfg.StripeUnit = 1 << 40
+			v, err := array.NewVolume(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := spec
+			s.Volume = v
+			return RunVolume(nil, s, src(), Options{})
+		}},
+		{"failure slot out of range", func() (Result, error) {
+			return RunVolume(nil, spec, src(),
+				Options{Injector: devEvents(t, fault.DeviceEvent{AtMs: 1, Dev: 7})})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.run(); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestRunVolumeHealthyShapes(t *testing.T) {
+	// No contention, fixed 1 ms service: plan shapes are readable
+	// directly in the response times.
+	cases := []struct {
+		name string
+		cfg  array.VolumeConfig
+		op   core.Op
+		want float64
+	}{
+		// Mirror read: one replica visit.
+		{"mirror read", mirrorVolCfg(), core.Read, 1},
+		// Mirror write: both replicas in parallel.
+		{"mirror write", mirrorVolCfg(), core.Write, 1},
+		// Parity read: one data visit.
+		{"parity read", parityVolCfg(), core.Read, 1},
+		// Parity small write: 2-phase RMW (read data+parity, then write).
+		{"parity write", parityVolCfg(), core.Write, 2},
+	}
+	for _, tc := range cases {
+		spec := volFixtures(t, tc.cfg, 1)
+		src := workload.NewFromSlice(volReqs([]float64{0, 10, 20}, tc.op, []int64{0, 16, 32}))
+		res, err := RunVolume(nil, spec, src, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Requests != 3 {
+			t.Fatalf("%s: requests = %d", tc.name, res.Requests)
+		}
+		if res.Response.Mean() != tc.want {
+			t.Errorf("%s: response = %g ms, want %g", tc.name, res.Response.Mean(), tc.want)
+		}
+		if res.Volume == nil || res.Volume.DeviceFailures != 0 || res.Volume.DegradedMs != 0 {
+			t.Errorf("%s: unexpected failover activity: %+v", tc.name, res.Volume)
+		}
+		if res.Volume.Healthy.N() != 3 || res.Volume.Degraded.N() != 0 {
+			t.Errorf("%s: healthy/degraded split = %d/%d", tc.name,
+				res.Volume.Healthy.N(), res.Volume.Degraded.N())
+		}
+	}
+}
+
+func TestRunVolumeDeterministic(t *testing.T) {
+	// Identical inputs — including a mid-run failure and rebuild — give
+	// identical results at full float precision.
+	run := func() Result {
+		cfg := parityVolCfg()
+		cfg.PerMember = 6750000 / 100
+		cfg.StripeUnit = 2700
+		v, err := array.NewVolume(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := cfg.Devices()
+		devs := make([]core.Device, n)
+		scheds := make([]core.Scheduler, n)
+		for i := range devs {
+			devs[i] = mems.MustDevice(mems.DefaultConfig())
+			scheds[i] = sched.NewSPTF()
+		}
+		src := workload.NewRandom(workload.RandomConfig{
+			Rate: 500, ReadFraction: 0.67, MeanBytes: 4096, MaxBytes: 4096,
+			SectorSize: devs[0].SectorSize(), Capacity: cfg.Capacity(), Count: 400, Seed: 7,
+		})
+		res, err := RunVolume(nil,
+			VolumeSpec{Volume: v, Devices: devs, Scheds: scheds, RebuildChunk: 2700, RebuildFrac: 0.5},
+			src, Options{Warmup: 50, Injector: devEvents(t, fault.DeviceEvent{AtMs: 200, Dev: 1})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("volume runs diverged:\n  %+v\n  %+v", a, b)
+	}
+	if a.Volume.RebuildsDone != 1 {
+		t.Fatalf("rebuild did not complete: %+v", a.Volume)
+	}
+}
+
+func TestRunVolumeStripeMatchesRunMulti(t *testing.T) {
+	// A no-redundancy stripe volume is the same queueing system as
+	// RunMulti with a StripeRouter: single-strip requests must produce
+	// identical statistics.
+	const unit, n = 8, 3
+	mk := func() ([]core.Device, []core.Scheduler) {
+		devs := make([]core.Device, n)
+		scheds := make([]core.Scheduler, n)
+		for i := range devs {
+			devs[i] = mems.MustDevice(mems.DefaultConfig())
+			scheds[i] = sched.NewFCFS()
+		}
+		return devs, scheds
+	}
+	reqs := func() []*core.Request {
+		var out []*core.Request
+		for i := 0; i < 300; i++ {
+			op := core.Read
+			if i%3 == 0 {
+				op = core.Write
+			}
+			out = append(out, &core.Request{
+				Arrival: float64(i) * 2,
+				Op:      op,
+				LBN:     int64(i*37) % (unit * n * 100),
+				Blocks:  1,
+			})
+		}
+		return out
+	}
+
+	devs, scheds := mk()
+	multi, err := RunMulti(nil, devs, scheds, StripeRouter(unit, n),
+		workload.NewFromSlice(reqs()), Options{Warmup: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := array.VolumeConfig{Level: array.VolStripe, Members: n, StripeUnit: unit,
+		PerMember: unit * 100}
+	v, err := array.NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdevs, vscheds := mk()
+	vol, err := RunVolume(nil, VolumeSpec{Volume: v, Devices: vdevs, Scheds: vscheds},
+		workload.NewFromSlice(reqs()), Options{Warmup: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if vol.Requests != multi.Requests {
+		t.Fatalf("request counts differ: %d vs %d", vol.Requests, multi.Requests)
+	}
+	if math.Abs(vol.Response.Mean()-multi.Response.Mean()) > 1e-9 {
+		t.Errorf("response mean %.9f vs %.9f", vol.Response.Mean(), multi.Response.Mean())
+	}
+	if math.Abs(vol.Busy-multi.Busy) > 1e-9 {
+		t.Errorf("busy %.9f vs %.9f", vol.Busy, multi.Busy)
+	}
+	for i := range vol.Members {
+		if vol.Members[i].Requests != multi.Members[i].Requests {
+			t.Errorf("member %d requests %d vs %d", i,
+				vol.Members[i].Requests, multi.Members[i].Requests)
+		}
+	}
+}
+
+func TestRunVolumeMirrorFailover(t *testing.T) {
+	spec := volFixtures(t, mirrorVolCfg(), 1)
+	spec.RebuildChunk = 16
+	rp := &recordingProbe{}
+	arr := make([]float64, 60)
+	lbns := make([]int64, 60)
+	for i := range arr {
+		arr[i] = float64(i)
+		lbns[i] = int64(i) % 64
+	}
+	src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+	res, err := RunVolume(nil, spec, src,
+		Options{Probe: rp, Injector: devEvents(t, fault.DeviceEvent{AtMs: 10, Dev: 0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res.Volume
+	if vs.DeviceFailures != 1 || vs.RebuildsStarted != 1 || vs.RebuildsDone != 1 {
+		t.Fatalf("failover counters: %+v", vs)
+	}
+	if vs.RebuildChunks != 4 { // 64 sectors / 16-sector chunks
+		t.Errorf("rebuild chunks = %d, want 4", vs.RebuildChunks)
+	}
+	if res.Requests != 60 || res.FailedRequests != 0 {
+		t.Errorf("requests = %d, failed = %d; a mirror failover must lose nothing",
+			res.Requests, res.FailedRequests)
+	}
+	if res.DataLoss {
+		t.Error("single mirror failure reported data loss")
+	}
+	if vs.RebuildMs <= 0 || vs.DegradedMs < vs.RebuildMs {
+		t.Errorf("MTTR %.3f ms, degraded window %.3f ms", vs.RebuildMs, vs.DegradedMs)
+	}
+	if vs.Degraded.N() == 0 || vs.Healthy.N() == 0 {
+		t.Errorf("healthy/degraded split = %d/%d", vs.Healthy.N(), vs.Degraded.N())
+	}
+	if vs.RebuildBusy <= 0 {
+		t.Error("rebuild consumed no device time")
+	}
+	// Mirror survivor reads are full-speed, not reconstruction.
+	if vs.DegradedReads != 0 {
+		t.Errorf("mirror degraded reads = %d, want 0", vs.DegradedReads)
+	}
+	// Spare (device 2) did rebuild writes.
+	if res.Members[2].Requests == 0 {
+		t.Error("spare device served no rebuild traffic")
+	}
+
+	// Probe lifecycle: fail → rebuild-start → rebuild-done, in order.
+	if rp.count(EventDeviceFail) != 1 || rp.count(EventRebuildStart) != 1 || rp.count(EventRebuildDone) != 1 {
+		t.Fatalf("lifecycle events: fail=%d start=%d done=%d",
+			rp.count(EventDeviceFail), rp.count(EventRebuildStart), rp.count(EventRebuildDone))
+	}
+	order := []EventKind{}
+	for _, ev := range rp.events {
+		switch ev.Kind {
+		case EventDeviceFail, EventRebuildStart, EventRebuildDone:
+			order = append(order, ev.Kind)
+			if ev.Req != nil {
+				t.Errorf("%v event carries a request", ev.Kind)
+			}
+			if ev.Dev != 0 {
+				t.Errorf("%v event on slot %d, want 0", ev.Kind, ev.Dev)
+			}
+		}
+	}
+	want := []EventKind{EventDeviceFail, EventRebuildStart, EventRebuildDone}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("lifecycle order = %v, want %v", order, want)
+	}
+}
+
+func TestRunVolumeParityDegradedService(t *testing.T) {
+	spec := volFixtures(t, parityVolCfg(), 1)
+	spec.RebuildChunk = 8
+	arr := make([]float64, 80)
+	lbns := make([]int64, 80)
+	for i := range arr {
+		arr[i] = float64(i) * 2
+		lbns[i] = int64(i*7) % 128
+	}
+	src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+	res, err := RunVolume(nil, spec, src,
+		Options{Injector: devEvents(t, fault.DeviceEvent{AtMs: 20, Dev: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res.Volume
+	if vs.RebuildsDone != 1 || res.FailedRequests != 0 {
+		t.Fatalf("parity failover: %+v failed=%d", vs, res.FailedRequests)
+	}
+	if vs.DegradedReads == 0 {
+		t.Error("no reads paid peer reconstruction while degraded")
+	}
+	if res.DegradedReads != vs.DegradedReads {
+		t.Errorf("Result.DegradedReads %d != Volume.DegradedReads %d",
+			res.DegradedReads, vs.DegradedReads)
+	}
+}
+
+func TestRunVolumeDoubleFailureSurfacesLoss(t *testing.T) {
+	cfg := parityVolCfg()
+	cfg.Spares = 0 // no cover: the second failure is fatal
+	spec := volFixtures(t, cfg, 1)
+	arr := make([]float64, 40)
+	lbns := make([]int64, 40)
+	for i := range arr {
+		arr[i] = float64(i)
+		lbns[i] = int64(i*5) % 128
+	}
+	src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+	res, err := RunVolume(nil, spec, src, Options{Injector: devEvents(t,
+		fault.DeviceEvent{AtMs: 5, Dev: 0}, fault.DeviceEvent{AtMs: 12, Dev: 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DataLoss {
+		t.Fatal("double failure did not surface DataLoss")
+	}
+	if res.FailedRequests == 0 || res.Volume.LostRequests == 0 || res.LostReads == 0 {
+		t.Errorf("lost service not reported: failed=%d lost=%d lostReads=%d",
+			res.FailedRequests, res.Volume.LostRequests, res.LostReads)
+	}
+	// Every arrival completed one way or the other — no silent drops.
+	if got := res.Requests + res.FailedRequests; got != 40 {
+		t.Errorf("completions+failures = %d, want 40", got)
+	}
+	if res.Volume.RebuildsDone != 0 {
+		t.Error("rebuild reported complete on a lost volume")
+	}
+	if res.Volume.DegradedMs <= 0 {
+		t.Error("no degraded window recorded")
+	}
+}
+
+func TestRunVolumeThrottleStretchesRebuild(t *testing.T) {
+	// The same failure rebuilt at 25% throttle must take longer than
+	// flat-out, and the rebuild tail must run past source exhaustion.
+	run := func(frac float64) Result {
+		spec := volFixtures(t, mirrorVolCfg(), 1)
+		spec.RebuildChunk = 8
+		spec.RebuildFrac = frac
+		src := workload.NewFromSlice(volReqs([]float64{0, 1, 2}, core.Read, []int64{0, 8, 16}))
+		res, err := RunVolume(nil, spec, src,
+			Options{Injector: devEvents(t, fault.DeviceEvent{AtMs: 4, Dev: 1})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat, throttled := run(1), run(0.25)
+	if flat.Volume.RebuildsDone != 1 || throttled.Volume.RebuildsDone != 1 {
+		t.Fatalf("rebuilds incomplete: flat=%+v throttled=%+v", flat.Volume, throttled.Volume)
+	}
+	if throttled.Volume.RebuildMs <= flat.Volume.RebuildMs {
+		t.Errorf("throttled MTTR %.3f ms not above flat-out %.3f ms",
+			throttled.Volume.RebuildMs, flat.Volume.RebuildMs)
+	}
+	// 8 chunks × 2 ms each: flat-out MTTR ≈ 16 ms; 25% throttle idles
+	// 3× the chunk time after each chunk ≈ 58 ms.
+	if flat.Volume.RebuildMs != 16 {
+		t.Errorf("flat MTTR = %g ms, want 16", flat.Volume.RebuildMs)
+	}
+	if throttled.Volume.RebuildMs != 58 {
+		t.Errorf("throttled MTTR = %g ms, want 58", throttled.Volume.RebuildMs)
+	}
+}
+
+func TestRunVolumeMemberPhases(t *testing.T) {
+	// With a PhaseCollector the run reports volume-level phases per
+	// measured request and per-member phases per service visit.
+	cfg := parityVolCfg()
+	cfg.PerMember = 2700 * 4
+	cfg.StripeUnit = 2700
+	v, err := array.NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Devices()
+	devs := make([]core.Device, n)
+	scheds := make([]core.Scheduler, n)
+	for i := range devs {
+		devs[i] = mems.MustDevice(mems.DefaultConfig())
+		scheds[i] = sched.NewFCFS()
+	}
+	pc := NewPhaseCollector()
+	src := workload.NewRandom(workload.RandomConfig{
+		Rate: 300, ReadFraction: 0.5, MeanBytes: 2048, MaxBytes: 4096,
+		SectorSize: devs[0].SectorSize(), Capacity: cfg.Capacity(), Count: 120, Seed: 3,
+	})
+	res, err := RunVolume(nil, VolumeSpec{Volume: v, Devices: devs, Scheds: scheds}, src,
+		Options{Warmup: 10, Probe: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases == nil || res.Phases.Requests != res.Requests {
+		t.Fatalf("volume phases = %+v for %d requests", res.Phases, res.Requests)
+	}
+	visits := 0
+	for i, m := range res.Members {
+		if m.Phases == nil {
+			t.Fatalf("member %d missing phases", i)
+		}
+		if m.Phases.Requests != m.Requests {
+			t.Errorf("member %d phase visits %d != requests %d", i, m.Phases.Requests, m.Requests)
+		}
+		visits += m.Phases.Requests
+	}
+	// Member phases are per visit and cover warmup: at least one visit
+	// per completed request, spares idle on a healthy run.
+	if visits < res.Requests {
+		t.Errorf("member visits %d below measured requests %d", visits, res.Requests)
+	}
+	if res.Members[n-1].Requests != 0 {
+		t.Error("spare device served traffic on a healthy run")
+	}
+}
+
+func TestRunVolumeMaxRequests(t *testing.T) {
+	spec := volFixtures(t, mirrorVolCfg(), 1)
+	arr := make([]float64, 30)
+	lbns := make([]int64, 30)
+	src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+	res, err := RunVolume(nil, spec, src, Options{MaxRequests: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 7 {
+		t.Errorf("requests = %d, want 7", res.Requests)
+	}
+}

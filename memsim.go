@@ -189,9 +189,11 @@ type Router = sim.Router
 
 // SimulateMulti drives an open workload over several devices, each with
 // its own scheduler queue (event-driven) — multi-device volumes like the
-// paper's striped TPC-C testbed.
+// paper's striped TPC-C testbed. Configuration errors (mismatched
+// device/scheduler counts, an out-of-range router index) are returned
+// rather than panicking.
 func SimulateMulti(devs []Device, scheds []Scheduler, route Router,
-	src WorkloadSource, opts SimOptions) SimResult {
+	src WorkloadSource, opts SimOptions) (SimResult, error) {
 	return sim.RunMulti(nil, devs, scheds, route, src, opts)
 }
 
@@ -232,6 +234,12 @@ const (
 	EventRetry    = sim.EventRetry
 	EventRequeue  = sim.EventRequeue
 	EventComplete = sim.EventComplete
+	// Volume-lifecycle events (SimulateVolume): member failure, online
+	// rebuild start and completion. Dev carries the member slot; no
+	// request is attached.
+	EventDeviceFail   = sim.EventDeviceFail
+	EventRebuildStart = sim.EventRebuildStart
+	EventRebuildDone  = sim.EventRebuildDone
 )
 
 // MultiProbe fans events out to several probes in order.

@@ -82,7 +82,7 @@ func TestFacadePower(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Fatalf("experiment IDs: %v", ids)
 	}
 	tables, err := RunExperiment("table1", QuickExperimentParams())
@@ -195,7 +195,10 @@ func TestFacadeSimulateMulti(t *testing.T) {
 	}
 	per := devs[0].Capacity()
 	src := NewRandomWorkload(1000, 512, 2*per, 800, 6)
-	res := SimulateMulti(devs, scheds, ConcatRouter(per), src, SimOptions{})
+	res, err := SimulateMulti(devs, scheds, ConcatRouter(per), src, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Requests != 800 {
 		t.Fatalf("completed %d", res.Requests)
 	}
@@ -235,5 +238,54 @@ func TestFacadeProbe(t *testing.T) {
 	}
 	if EventComplete.String() != "complete" {
 		t.Errorf("EventComplete = %q", EventComplete.String())
+	}
+}
+
+func TestFacadeSimulateVolume(t *testing.T) {
+	cfg := VolumeConfig{
+		Level: VolumeMirror, Members: 2, Spares: 1,
+		StripeUnit: 2700, PerMember: 2700 * 10,
+	}
+	v, err := NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Devices()
+	devs := make([]Device, n)
+	scheds := make([]Scheduler, n)
+	for i := range devs {
+		d, err := NewMEMSDevice(DefaultMEMSConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+		scheds[i], err = NewScheduler("SPTF")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj, err := NewFaultInjector(FaultInjectorConfig{
+		DeviceEvents: []DeviceFailureEvent{{AtMs: 50, Dev: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRandomWorkload(500, 512, v.Capacity(), 400, 11)
+	res, err := SimulateVolume(VolumeSpec{Volume: v, Devices: devs, Scheds: scheds, RebuildFrac: 0.5},
+		src, SimOptions{Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests+res.FailedRequests != 400 {
+		t.Fatalf("completions %d + failures %d ≠ 400", res.Requests, res.FailedRequests)
+	}
+	if res.Volume == nil || res.Volume.DeviceFailures != 1 || res.Volume.RebuildsDone != 1 {
+		t.Fatalf("failover metrics missing: %+v", res.Volume)
+	}
+	if res.DataLoss {
+		t.Fatal("mirror failover reported data loss")
+	}
+	if len(res.Members) != n {
+		t.Fatalf("member attribution for %d slots, want %d", len(res.Members), n)
 	}
 }
