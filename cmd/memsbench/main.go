@@ -14,6 +14,9 @@
 //	                              # fault injection with an extra error rate
 //	memsbench -run phases -trace run.jsonl
 //	                              # request-lifecycle JSONL alongside the tables
+//	memsbench -run fig11 -think-ms 10
+//	                              # closed-loop terminals with think time
+//	                              # (default 0: the paper's back-to-back regime)
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault, faultinject and power (DESIGN.md §2).
@@ -52,6 +55,7 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
 		failDev   = flag.Int("fail-dev", 0, "volume member slot the rebuild experiment kills (reduced modulo the member count)")
 		rebuild   = flag.Float64("rebuild", 0, "extra rebuild-throttle fraction for the rebuild sweep, in (0,1]; 0 keeps the standard sweep")
+		thinkMs   = flag.Float64("think-ms", 0, "mean exponential think time (ms) for closed-loop terminals (fig11); 0 keeps the paper's back-to-back regime")
 		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 	)
 	flag.Parse()
@@ -76,11 +80,15 @@ func main() {
 	if *failDev < 0 {
 		fatal(fmt.Errorf("-fail-dev %d must be non-negative", *failDev))
 	}
+	if *thinkMs < 0 {
+		fatal(fmt.Errorf("-think-ms %g must be non-negative", *thinkMs))
+	}
 	p.Seed = *seed
 	p.FaultRate = *faultRate
 	p.FaultSeed = *faultSeed
 	p.FailDev = *failDev
 	p.RebuildFrac = *rebuild
+	p.ThinkMs = *thinkMs
 	p = p.WithRequests(*reqs)
 
 	ids := experiments.IDs()

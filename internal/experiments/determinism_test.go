@@ -86,8 +86,11 @@ func TestRunManyUnknownID(t *testing.T) {
 // (as memsbench -trace does) must not change a single byte of the
 // rendered artifacts, including on the fault-injection path.
 func TestProbedOutputMatchesUnprobed(t *testing.T) {
+	// rebuild and striping put the volume fork-join and multi-queue engine
+	// regimes under the same probe-neutrality contract; FaultRate > 0 keeps
+	// the rebuild runs' transient-injection path live under the probe.
 	p := Params{Requests: 600, Warmup: 60, ClosedRequests: 300, Trials: 60, Seed: 5, FaultRate: 0.02}
-	ids := []string{"fig6", "phases", "faultinject"}
+	ids := []string{"fig6", "phases", "faultinject", "rebuild", "striping"}
 
 	plain, _, err := RunMany(runner.Sequential(), ids, p)
 	if err != nil {

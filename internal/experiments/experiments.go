@@ -48,6 +48,12 @@ type Params struct {
 	// RebuildFrac, when positive, adds an extra rebuild-throttle fraction
 	// to the rebuild experiment's sweep (cmd/memsbench -rebuild).
 	RebuildFrac float64
+	// ThinkMs, when positive, gives the closed-loop layout experiment's
+	// terminals exponential think time with this mean in milliseconds
+	// (cmd/memsbench -think-ms), turning the back-to-back §5.3 regime
+	// into a multiprogrammed one. Zero (the default) keeps the paper's
+	// back-to-back behavior.
+	ThinkMs float64
 }
 
 // faultSeed resolves the injector base seed per the FaultSeed contract.

@@ -67,7 +67,16 @@ func fig11Plan(p Params) *Plan {
 				Seed:   p.Seed,
 				Device: grp.dev,
 				Source: func(core.Device) workload.Source {
-					return workload.NewBipartite(workload.DefaultBipartite(p.Seed), pl)
+					src := workload.Source(workload.NewBipartite(workload.DefaultBipartite(p.Seed), pl))
+					if p.ThinkMs > 0 {
+						// Multiprogrammed closed loop: each terminal
+						// thinks (exponential mean -think-ms) before its
+						// next request. Off by default — the paper's
+						// regime is strictly back-to-back.
+						src = workload.ThinkTime(src, workload.ExpThink(p.ThinkMs),
+							runner.DeriveSeed(p.Seed, "thinktime"))
+					}
+					return src
 				},
 				Options: sim.Options{MaxRequests: p.ClosedRequests},
 			}

@@ -162,10 +162,15 @@ func rebuildRun(job *runner.Job, cfg array.VolumeConfig, mk core.DeviceFactory,
 	// stream, so the run measures healthy service on both sides of a
 	// mid-run failure.
 	failMs := 0.25 * float64(p.Requests) / rate * 1000
-	inj, err := fault.NewInjector(fault.InjectorConfig{
-		Seed:         p.faultSeed(),
-		DeviceEvents: []fault.DeviceEvent{{AtMs: failMs, Dev: p.FailDev % cfg.Members}},
-	})
+	// The full retry envelope rides along so -fault-rate layers transient
+	// per-attempt errors on top of the scheduled device kill; at the
+	// default rate 0 the budgets are never consulted and the run is
+	// identical to a pure device-failure schedule.
+	icfg := fault.DefaultInjectorConfig()
+	icfg.Seed = p.faultSeed()
+	icfg.TransientRate = p.FaultRate
+	icfg.DeviceEvents = []fault.DeviceEvent{{AtMs: failMs, Dev: p.FailDev % cfg.Members}}
+	inj, err := fault.NewInjector(icfg)
 	if err != nil {
 		panic(err)
 	}

@@ -48,27 +48,43 @@ func stripingPlan(p Params) *Plan {
 				Title:   "striped MEMS volume: mean response (ms) vs. arrival rate",
 				Columns: []string{"rate(req/s)", "1 sled", "2 sleds", "4 sleds"},
 			}
+			c := Table{
+				ID:      "striping-clamps",
+				Title:   "requests clamped to a strip boundary by the stripe router, same runs",
+				Columns: []string{"rate(req/s)", "1 sled", "2 sleds", "4 sleds"},
+			}
 			for ri, rate := range rates {
 				row := []string{f2(rate)}
+				crow := []string{f2(rate)}
 				for ni := range counts {
-					v := grid[ri][ni].Value().(float64)
-					if v < 0 {
+					o := grid[ri][ni].Value().(stripedOutcome)
+					if o.mean < 0 {
 						row = append(row, "—")
 					} else {
-						row = append(row, ms(v))
+						row = append(row, ms(o.mean))
 					}
+					crow = append(crow, fmt.Sprintf("%d", o.clamped))
 				}
 				t.AddRow(row...)
+				c.AddRow(crow...)
 			}
-			return []Table{t}
+			return []Table{t, c}
 		},
 	}
 }
 
+// stripedOutcome is one striping run's summary, returned by the job's
+// Custom body.
+type stripedOutcome struct {
+	mean    float64 // mean response (ms), or −1 when hopelessly saturated
+	clamped int     // requests the stripe router clamped to a strip boundary
+}
+
 // stripedResponse simulates an n-sled volume at the given rate and
-// returns the mean response time, or −1 when the configuration is
-// hopelessly saturated (mean response above 1 s).
-func stripedResponse(n int, rate float64, p Params) float64 {
+// returns the mean response time — or −1 when the configuration is
+// hopelessly saturated (mean response above 1 s) — together with the
+// router's clamp count.
+func stripedResponse(n int, rate float64, p Params) stripedOutcome {
 	devs := make([]core.Device, n)
 	scheds := make([]core.Scheduler, n)
 	for i := range devs {
@@ -95,8 +111,9 @@ func stripedResponse(n int, rate float64, p Params) float64 {
 		// Recovered by the runner into a per-job error.
 		panic(err)
 	}
-	if res.Response.Mean() > 1000 {
-		return -1
+	out := stripedOutcome{mean: res.Response.Mean(), clamped: res.ClampedRequests}
+	if out.mean > 1000 {
+		out.mean = -1
 	}
-	return res.Response.Mean()
+	return out
 }

@@ -1,0 +1,393 @@
+// engine.go is the single discrete-event core behind every simulation
+// entry point. The four public regimes — Run (open arrivals), RunClosed
+// (back-to-back with optional think time), RunMulti (routed member set),
+// RunVolume (redundant fork-join volume) — are thin adapters that wire
+// three plug points into one engine:
+//
+//   - an arrival process: a lazy open-arrival pump (runOpen), a closed
+//     issue chain with per-request think-time draws (runClosed), or an
+//     eager arrival chain (chainArrivals, used by multi and volume);
+//   - a service target: a single device+scheduler, or a memberSet of
+//     per-device queues addressed by a Router or an array.Volume plan;
+//   - a shared completion path (complete): warmup gating, failed-request
+//     exclusion, probe emission, progress, MaxRequests stop.
+//
+// Every service visit in every regime flows through serveVisit, so
+// fault injection — transient retries, requeues, lost-sector reads, ECC
+// surcharges — behaves identically whether the request is served by a
+// lone device, a striped member, or a volume fork-join leg.
+//
+// Determinism contract: the engine schedules at most one pending
+// arrival per source (chained), one completion per busy device, and
+// regime-specific background events (rebuild chunks, device failures)
+// on a stable-FIFO EventQueue, so identical inputs replay an identical
+// event sequence — and therefore identical statistics and probe streams
+// — regardless of host or probe attachment.
+package sim
+
+import (
+	"memsim/internal/core"
+	"memsim/internal/fault"
+	"memsim/internal/workload"
+)
+
+// engine holds one run's shared state: the event queue, the accumulated
+// Result, and the observability plumbing every regime threads through.
+type engine struct {
+	ctx  *Context
+	opts Options
+	inj  *fault.Injector
+	p    Probe
+	q    EventQueue
+	res  Result
+
+	completed int
+	stopped   bool
+	runErr    error
+}
+
+// newEngine builds an engine for one run, resetting the injector and
+// any run-scoped probe state. Devices and schedulers are reset by the
+// regime adapters, which own them.
+func newEngine(ctx *Context, opts Options) *engine {
+	e := &engine{ctx: ctx, opts: opts, inj: opts.Injector, p: opts.Probe}
+	if e.inj != nil {
+		e.inj.Reset()
+	}
+	resetProbe(e.p)
+	return e
+}
+
+// loop dispatches events until the queue drains or a regime stops the
+// run (MaxRequests, router error).
+func (e *engine) loop() {
+	for !e.stopped && e.q.Step() {
+	}
+}
+
+// finalize closes the run: elapsed time, phase aggregates, and data
+// loss latched from the injector's redundancy array.
+func (e *engine) finalize() {
+	e.res.Elapsed = e.q.Now()
+	e.res.Phases = phaseStats(e.p)
+	if e.inj != nil && e.inj.Array() != nil && e.inj.Array().DataLoss() {
+		e.res.DataLoss = true
+	}
+}
+
+// serveVisit runs one service visit for r on d at time now, applying
+// fault injection when the engine carries an injector: scheduled tip
+// events fire first, then transient positioning errors are retried
+// inline — each charged the device's §6.1.3 recovery penalty — up to
+// the injector's per-visit budget, and surviving degraded-stripe reads
+// pay ECC reconstruction. It returns the visit's total device time,
+// the visit's phase breakdown (zero unless a probe is attached), and
+// whether the request must go back to its scheduler for another visit.
+//
+// r is the request the device serves (a member op under multi/volume);
+// sink is the request whose Phases accumulate the breakdown (the
+// volume-level parent under RunVolume, r itself elsewhere); dev tags
+// probe events with the member index (0 for single-device regimes).
+func (e *engine) serveVisit(d core.Device, r, sink *core.Request, dev int, now float64) (svc float64, bd core.Breakdown, again bool) {
+	p := e.p
+	serviced := func() {
+		if p == nil {
+			return
+		}
+		sink.Phases.Accumulate(bd)
+		p.Observe(ProbeEvent{Kind: EventService, Time: now + svc, Dev: dev, Req: r, Breakdown: bd})
+	}
+	inj := e.inj
+	if inj == nil {
+		svc = d.Access(r, now)
+		if p != nil {
+			bd = breakdownOf(d, svc)
+			serviced()
+		}
+		return svc, bd, false
+	}
+	inj.Advance(now)
+	svc = d.Access(r, now)
+	if p != nil {
+		bd = breakdownOf(d, svc)
+	}
+	if r.Op == core.Read && inj.LostBlocks(r.LBN, r.Blocks) > 0 {
+		// The addressed sectors are unrecoverable (stripe past its ECC
+		// budget): the request fails outright — no retry or requeue can
+		// bring the data back, and serving it silently would be a
+		// correctness bug, not a performance event.
+		r.Failed = true
+		e.res.LostReads++
+		serviced()
+		return svc, bd, false
+	}
+	retries := 0
+	for inj.TransientError() {
+		if retries >= inj.MaxRetries() {
+			// The visit failed: requeue while budget remains, else the
+			// request completes in error.
+			if r.Requeues < inj.MaxRequeues() {
+				r.Requeues++
+				e.res.Requeues++
+				serviced()
+				return svc, bd, true
+			}
+			r.Failed = true
+			serviced()
+			return svc, bd, false
+		}
+		pen := inj.FallbackPenaltyMs()
+		if rm, ok := d.(core.RecoveryModel); ok {
+			pen = rm.ErrorPenalty(r, now+svc, inj.Draw())
+		}
+		retries++
+		r.Retries++
+		r.RecoveryMs += pen
+		e.res.Retries++
+		e.res.RecoveryMs += pen
+		svc += pen
+		if p != nil {
+			bd.Recovery += pen
+			bd.ServiceMs += pen
+			p.Observe(ProbeEvent{Kind: EventRetry, Time: now + svc, Dev: dev, Req: r,
+				Breakdown: core.Breakdown{Recovery: pen, ServiceMs: pen}})
+		}
+	}
+	if r.Op == core.Read {
+		if n := inj.DegradedBlocks(r.LBN, r.Blocks); n > 0 {
+			sur := float64(n) * inj.ECCSurchargeMs()
+			r.Degraded = true
+			r.RecoveryMs += sur
+			e.res.RecoveryMs += sur
+			svc += sur
+			if p != nil {
+				bd.Recovery += sur
+				bd.ServiceMs += sur
+			}
+		}
+	}
+	serviced()
+	return svc, bd, false
+}
+
+// complete is the shared completion path: every top-level request in
+// every regime finishes here. It advances the completion count, fires
+// progress and the EventComplete probe, invokes OnComplete, optionally
+// tallies the fault outcome (tally — single and multi regimes with an
+// injector; RunVolume keeps its own richer tallies), and folds the
+// request into the measured statistics when it is past warmup and not
+// failed. qlen < 0 skips the queue-length statistics (closed regime).
+// onDone, when non-nil, runs last with the measured flag for
+// regime-specific accounting. Reaching MaxRequests stops the run.
+func (e *engine) complete(now float64, r *core.Request, dev, qlen int, resp, svc float64, tally bool, onDone func(measured bool)) {
+	e.completed++
+	e.ctx.progress(e.completed, now)
+	measured := e.completed > e.opts.Warmup && !r.Failed
+	if e.p != nil {
+		e.p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Dev: dev, Req: r, Measured: measured})
+	}
+	if e.opts.OnComplete != nil {
+		e.opts.OnComplete(r)
+	}
+	if tally && e.inj != nil {
+		classify(r, &e.res)
+	}
+	if measured {
+		e.res.Requests++
+		e.res.Response.Add(resp)
+		e.res.Service.Add(svc)
+		if qlen >= 0 {
+			e.res.QueueLen.Add(float64(qlen))
+			if qlen > e.res.MaxQueue {
+				e.res.MaxQueue = qlen
+			}
+		}
+	}
+	if onDone != nil {
+		onDone(measured)
+	}
+	if e.opts.MaxRequests > 0 && e.completed >= e.opts.MaxRequests {
+		e.stopped = true
+	}
+}
+
+// chainArrivals schedules src's stream as a linked chain of arrival
+// events: each event delivers one request and then schedules the next,
+// so simultaneous arrivals retain stream order and the heap holds at
+// most one pending arrival. Eager regimes (multi, volume) use this;
+// the open single-device regime ingests lazily in runOpen instead.
+func (e *engine) chainArrivals(src workload.Source, deliver func(*core.Request)) {
+	var fire func(r *core.Request)
+	fire = func(r *core.Request) {
+		deliver(r)
+		if next := src.Next(); next != nil {
+			e.q.Schedule(next.Arrival, func() { fire(next) })
+		}
+	}
+	if first := src.Next(); first != nil {
+		e.q.Schedule(first.Arrival, func() { fire(first) })
+	}
+}
+
+// ─── Open single-device regime (Run) ───────────────────────────────────
+
+// runOpen wires the open-arrival process to a single device+scheduler
+// target. Arrivals are ingested lazily — every request that has arrived
+// by the current event time enters the queue together, before the next
+// dispatch — reproducing the historical synchronous loop exactly: the
+// engine alternates dispatch→completion events, pumps the queue after
+// each, and sleeps until the next arrival when idle.
+func (e *engine) runOpen(d core.Device, s core.Scheduler, src workload.Source) {
+	next := src.Next()
+	var pump func()
+	pump = func() {
+		if e.stopped {
+			return
+		}
+		now := e.q.Now()
+		// Ingest every request that has arrived by `now`.
+		for next != nil && next.Arrival <= now {
+			s.Add(next)
+			if e.p != nil {
+				e.p.Observe(ProbeEvent{Kind: EventArrive, Time: next.Arrival, Req: next, Queue: s.Len()})
+			}
+			next = src.Next()
+		}
+		if s.Len() == 0 {
+			if next != nil {
+				// Idle until the next arrival.
+				e.q.Schedule(next.Arrival, pump)
+			}
+			return // else drained: the queue empties and the run ends
+		}
+		qlen := s.Len()
+		r := s.Next(d, now)
+		if r.Requeues == 0 {
+			r.Start = now
+		}
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen})
+		}
+		svc, _, again := e.serveVisit(d, r, r, 0, now)
+		e.res.Busy += svc
+		done := now + svc
+		e.q.Schedule(done, func() {
+			if again {
+				requeue(s, r)
+				if e.p != nil {
+					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: done, Req: r, Queue: s.Len()})
+				}
+			} else {
+				r.Finish = done
+				e.complete(done, r, 0, qlen, r.ResponseTime(), r.ServiceTime(), true, nil)
+			}
+			pump()
+		})
+	}
+	e.q.Schedule(0, pump)
+}
+
+// ─── Closed regime (RunClosed) ─────────────────────────────────────────
+
+// runClosed wires the closed arrival process — each request issues when
+// the previous one completes — to a single-device target. When src
+// implements workload.Thinker (see workload.ThinkTime), each issue is
+// further delayed by that request's think-time draw, modeling a
+// multiprogrammed closed loop; otherwise requests are back-to-back,
+// byte-identical to the historical loop. With no queue to return to, a
+// failed visit re-services the request immediately, spending the
+// requeue budget in place.
+func (e *engine) runClosed(d core.Device, src workload.Source) {
+	think, _ := src.(workload.Thinker)
+	delay := func() float64 {
+		if think == nil {
+			return 0
+		}
+		return think.ThinkMs()
+	}
+	var issue func(r *core.Request)
+	issue = func(r *core.Request) {
+		now := e.q.Now()
+		r.Arrival = now
+		r.Start = now
+		if e.p != nil {
+			// Closed regime: arrival and dispatch coincide; the "queue"
+			// is the request itself.
+			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1})
+		}
+		t := now
+		total := 0.0
+		for {
+			svc, _, again := e.serveVisit(d, r, r, 0, t)
+			t += svc
+			total += svc
+			e.res.Busy += svc
+			if !again {
+				break
+			}
+			if e.p != nil {
+				e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: t, Req: r, Queue: 1})
+			}
+		}
+		e.q.Schedule(t, func() {
+			r.Finish = t
+			e.complete(t, r, 0, -1, total, total, true, nil)
+			if e.stopped {
+				return
+			}
+			if next := src.Next(); next != nil {
+				e.q.Schedule(e.q.Now()+delay(), func() { issue(next) })
+			}
+		})
+	}
+	if first := src.Next(); first != nil {
+		e.q.Schedule(delay(), func() { issue(first) })
+	}
+}
+
+// ─── Member sets (RunMulti, RunVolume) ─────────────────────────────────
+
+// memberSet is the multi-queue service target shared by the routed
+// (RunMulti) and redundant-volume (RunVolume) regimes: one scheduler
+// queue per member device, per-member busy latches, and per-member
+// result attribution.
+type memberSet struct {
+	devs   []core.Device
+	scheds []core.Scheduler
+	busy   []bool
+
+	members []MemberResult
+	// phases holds per-member phase aggregates when the probe carries a
+	// PhaseCollector; nil otherwise.
+	phases []PhaseStats
+}
+
+// newMemberSet resets the member devices and schedulers and sizes the
+// attribution slices.
+func newMemberSet(devs []core.Device, scheds []core.Scheduler, p Probe) *memberSet {
+	for i := range devs {
+		devs[i].Reset()
+		scheds[i].Reset()
+	}
+	ms := &memberSet{
+		devs:    devs,
+		scheds:  scheds,
+		busy:    make([]bool, len(devs)),
+		members: make([]MemberResult, len(devs)),
+	}
+	if findPhaseCollector(p) != nil {
+		ms.phases = make([]PhaseStats, len(devs))
+	}
+	return ms
+}
+
+// attach publishes the per-member aggregates into res.
+func (ms *memberSet) attach(res *Result) {
+	for i := range ms.members {
+		if ms.phases != nil {
+			ms.members[i].Phases = &ms.phases[i]
+		}
+	}
+	res.Members = ms.members
+}

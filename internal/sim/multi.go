@@ -15,14 +15,19 @@ type Router func(*core.Request) (dev int, devReq *core.Request)
 // RunMulti drives an open-arrival workload over several devices, each
 // with its own scheduler queue, completing independently — the
 // multi-device volume case (e.g. the paper's TPC-C testbed striped its
-// database across two drives). It is event-driven: arrivals and
-// completions interleave on the EventQueue.
+// database across two drives). It is an adapter over the shared
+// discrete-event engine: arrivals chain eagerly on the event queue and
+// completions interleave per member.
 //
 // The returned Result aggregates over all devices and reports
 // per-member shares in Result.Members (with per-member phase
 // attribution when the probe carries a PhaseCollector); response times
-// are measured per volume-level request. ctx (which may be nil)
-// observes the run's progress.
+// are measured per volume-level request, and — like Run — failed
+// requests are excluded from the measured statistics. Options.Injector
+// drives transient retries and requeues against each member's own
+// queue. Requests a router clamps at a member boundary are counted in
+// Result.ClampedRequests. ctx (which may be nil) observes the run's
+// progress.
 //
 // Configuration errors — no devices, mismatched device/scheduler
 // counts, a nil router or source, or a router that returns an
@@ -40,122 +45,86 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 	if src == nil {
 		return Result{}, fmt.Errorf("sim: RunMulti needs a workload source")
 	}
-	for i := range devs {
-		devs[i].Reset()
-		scheds[i].Reset()
-	}
-	p := opts.Probe
-	resetProbe(p)
-	var res Result
-	var q EventQueue
-	var runErr error
-	busy := make([]bool, len(devs))
-	members := make([]MemberResult, len(devs))
-	var memberPhases []PhaseStats
-	if findPhaseCollector(p) != nil {
-		memberPhases = make([]PhaseStats, len(devs))
-	}
-	completed := 0
-	stopped := false
+	e := newEngine(ctx, opts)
+	ms := newMemberSet(devs, scheds, e.p)
+	e.runMulti(ms, route, src)
+	e.loop()
+	e.finalize()
+	ms.attach(&e.res)
+	return e.res, e.runErr
+}
 
-	complete := func(dev int, r *core.Request, qlen int) {
-		completed++
-		members[dev].Requests++
-		if memberPhases != nil && completed > opts.Warmup {
-			memberPhases[dev].add(r.Phases)
-		}
-		ctx.progress(completed, q.Now())
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventComplete, Time: q.Now(), Dev: dev, Req: r,
-				Measured: completed > opts.Warmup})
-		}
-		if opts.OnComplete != nil {
-			opts.OnComplete(r)
-		}
-		if completed > opts.Warmup {
-			res.Requests++
-			res.Response.Add(r.ResponseTime())
-			res.Service.Add(r.ServiceTime())
-			res.QueueLen.Add(float64(qlen))
-			if qlen > res.MaxQueue {
-				res.MaxQueue = qlen
-			}
-		}
-		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
-			stopped = true
-		}
-	}
-
+// runMulti wires the eager arrival chain to a routed member set: each
+// arrival is routed to one member queue, served through the shared
+// visit path (injector included), and completed per volume-level
+// request through the shared completion path.
+func (e *engine) runMulti(ms *memberSet, route Router, src workload.Source) {
 	var dispatch func(i int)
 	dispatch = func(i int) {
-		if busy[i] || stopped {
+		if ms.busy[i] || e.stopped {
 			return
 		}
-		now := q.Now()
-		qlen := scheds[i].Len()
-		r := scheds[i].Next(devs[i], now)
+		now := e.q.Now()
+		qlen := ms.scheds[i].Len()
+		r := ms.scheds[i].Next(ms.devs[i], now)
 		if r == nil {
 			return
 		}
-		busy[i] = true
-		r.Start = now
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen})
+		ms.busy[i] = true
+		if r.Requeues == 0 {
+			r.Start = now
 		}
-		svc := devs[i].Access(r, now)
-		r.Finish = now + svc
-		res.Busy += svc
-		members[i].Busy += svc
-		if p != nil {
-			bd := breakdownOf(devs[i], svc)
-			r.Phases.Accumulate(bd)
-			p.Observe(ProbeEvent{Kind: EventService, Time: r.Finish, Dev: i, Req: r, Breakdown: bd})
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen})
 		}
-		q.Schedule(r.Finish, func() {
-			busy[i] = false
-			complete(i, r, qlen)
+		svc, _, again := e.serveVisit(ms.devs[i], r, r, i, now)
+		done := now + svc
+		r.Finish = done
+		e.res.Busy += svc
+		ms.members[i].Busy += svc
+		e.q.Schedule(done, func() {
+			ms.busy[i] = false
+			if again {
+				requeue(ms.scheds[i], r)
+				if e.p != nil {
+					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: done, Dev: i, Req: r,
+						Queue: ms.scheds[i].Len()})
+				}
+			} else {
+				e.complete(done, r, i, qlen, r.ResponseTime(), r.ServiceTime(), true, func(measured bool) {
+					ms.members[i].Requests++
+					if ms.phases != nil && measured {
+						ms.phases[i].add(r.Phases)
+					}
+				})
+			}
 			dispatch(i)
 		})
 	}
 
-	// Arrival chain: each arrival event ingests one request and schedules
-	// the next.
-	var arrive func(r *core.Request)
-	arrive = func(r *core.Request) {
+	e.chainArrivals(src, func(r *core.Request) {
 		i, devReq := route(r)
-		if i < 0 || i >= len(devs) {
-			runErr = fmt.Errorf("sim: router sent request to device %d of %d", i, len(devs))
-			stopped = true
+		if i < 0 || i >= len(ms.devs) {
+			e.runErr = fmt.Errorf("sim: router sent request to device %d of %d", i, len(ms.devs))
+			e.stopped = true
 			return
+		}
+		// Routers stay total by clamping a request that would spill past
+		// a member or strip boundary; count the truncation.
+		if devReq.Blocks != r.Blocks {
+			e.res.ClampedRequests++
 		}
 		// The device request carries the volume request's arrival time so
 		// response accounting is end-to-end; the router may return r
 		// itself when no translation is needed.
 		devReq.Arrival = r.Arrival
-		scheds[i].Add(devReq)
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventArrive, Time: r.Arrival, Dev: i, Req: devReq,
-				Queue: scheds[i].Len()})
+		ms.scheds[i].Add(devReq)
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: r.Arrival, Dev: i, Req: devReq,
+				Queue: ms.scheds[i].Len()})
 		}
 		dispatch(i)
-		if next := src.Next(); next != nil {
-			q.Schedule(next.Arrival, func() { arrive(next) })
-		}
-	}
-	if first := src.Next(); first != nil {
-		q.Schedule(first.Arrival, func() { arrive(first) })
-	}
-	for !stopped && q.Step() {
-	}
-	res.Elapsed = q.Now()
-	res.Phases = phaseStats(p)
-	for i := range members {
-		if memberPhases != nil {
-			members[i].Phases = &memberPhases[i]
-		}
-	}
-	res.Members = members
-	return res, runErr
+	})
 }
 
 // ConcatRouter routes by address concatenation: device i holds the LBN

@@ -128,6 +128,14 @@ type Result struct {
 	// redundant volume suffered a second concurrent member failure.
 	DataLoss bool
 
+	// ClampedRequests counts volume-level requests whose block count a
+	// router had to clamp at a member or strip boundary (RunMulti):
+	// ConcatRouter and StripeRouter stay total by shrinking a spilling
+	// request to the boundary, and this counter makes that truncation
+	// visible instead of silent. Zero for single-device and RunVolume
+	// runs (the volume planner splits rather than clamps).
+	ClampedRequests int
+
 	// Phases holds the per-phase service aggregates when the run's Probe
 	// contained a PhaseCollector; nil otherwise.
 	Phases *PhaseStats
@@ -171,99 +179,6 @@ func (r *Result) String() string {
 		r.Requests, r.Response.Mean(), r.Response.SquaredCV(), r.Service.Mean(), r.Utilization()*100)
 }
 
-// serveOne runs one service visit for r on d at time now, applying fault
-// injection when inj is non-nil: scheduled tip events fire first, then
-// transient positioning errors are retried inline — each charged the
-// device's §6.1.3 recovery penalty — up to the injector's per-visit
-// budget, and surviving degraded-stripe reads pay ECC reconstruction. It
-// returns the visit's total device time and whether the request must go
-// back to the scheduler for another visit.
-//
-// When p is non-nil the visit's phase breakdown (recovery surcharges
-// included) accumulates into r.Phases, retries emit EventRetry, and the
-// visit closes with EventService; a nil p skips every piece of that
-// bookkeeping.
-func serveOne(d core.Device, r *core.Request, now float64, inj *fault.Injector, res *Result, p Probe) (svc float64, requeue bool) {
-	var bd core.Breakdown
-	serviced := func() {
-		if p == nil {
-			return
-		}
-		r.Phases.Accumulate(bd)
-		p.Observe(ProbeEvent{Kind: EventService, Time: now + svc, Req: r, Breakdown: bd})
-	}
-	if inj == nil {
-		svc = d.Access(r, now)
-		if p != nil {
-			bd = breakdownOf(d, svc)
-			serviced()
-		}
-		return svc, false
-	}
-	inj.Advance(now)
-	svc = d.Access(r, now)
-	if p != nil {
-		bd = breakdownOf(d, svc)
-	}
-	if r.Op == core.Read && inj.LostBlocks(r.LBN, r.Blocks) > 0 {
-		// The addressed sectors are unrecoverable (stripe past its ECC
-		// budget): the request fails outright — no retry or requeue can
-		// bring the data back, and serving it silently would be a
-		// correctness bug, not a performance event.
-		r.Failed = true
-		res.LostReads++
-		serviced()
-		return svc, false
-	}
-	retries := 0
-	for inj.TransientError() {
-		if retries >= inj.MaxRetries() {
-			// The visit failed: requeue while budget remains, else the
-			// request completes in error.
-			if r.Requeues < inj.MaxRequeues() {
-				r.Requeues++
-				res.Requeues++
-				serviced()
-				return svc, true
-			}
-			r.Failed = true
-			serviced()
-			return svc, false
-		}
-		pen := inj.FallbackPenaltyMs()
-		if rm, ok := d.(core.RecoveryModel); ok {
-			pen = rm.ErrorPenalty(r, now+svc, inj.Draw())
-		}
-		retries++
-		r.Retries++
-		r.RecoveryMs += pen
-		res.Retries++
-		res.RecoveryMs += pen
-		svc += pen
-		if p != nil {
-			bd.Recovery += pen
-			bd.ServiceMs += pen
-			p.Observe(ProbeEvent{Kind: EventRetry, Time: now + svc, Req: r,
-				Breakdown: core.Breakdown{Recovery: pen, ServiceMs: pen}})
-		}
-	}
-	if r.Op == core.Read {
-		if n := inj.DegradedBlocks(r.LBN, r.Blocks); n > 0 {
-			sur := float64(n) * inj.ECCSurchargeMs()
-			r.Degraded = true
-			r.RecoveryMs += sur
-			res.RecoveryMs += sur
-			svc += sur
-			if p != nil {
-				bd.Recovery += sur
-				bd.ServiceMs += sur
-			}
-		}
-	}
-	serviced()
-	return svc, false
-}
-
 // requeue returns r to the scheduler after a failed service visit,
 // preferring the scheduler's Requeue method (retried requests keep their
 // place) over a plain Add.
@@ -297,161 +212,35 @@ func classify(r *core.Request, res *Result) {
 func Run(ctx *Context, d core.Device, s core.Scheduler, src workload.Source, opts Options) Result {
 	d.Reset()
 	s.Reset()
-	inj := opts.Injector
-	if inj != nil {
-		inj.Reset()
-	}
-	p := opts.Probe
-	resetProbe(p)
-	var res Result
-	now := 0.0
-	next := src.Next()
-	completed := 0
-	for {
-		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
-			break
-		}
-		// Ingest every request that has arrived by `now`.
-		for next != nil && next.Arrival <= now {
-			s.Add(next)
-			if p != nil {
-				p.Observe(ProbeEvent{Kind: EventArrive, Time: next.Arrival, Req: next, Queue: s.Len()})
-			}
-			next = src.Next()
-		}
-		if s.Len() == 0 {
-			if next == nil {
-				break // drained
-			}
-			// Idle until the next arrival.
-			now = next.Arrival
-			continue
-		}
-		qlen := s.Len()
-		r := s.Next(d, now)
-		if r.Requeues == 0 {
-			r.Start = now
-		}
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen})
-		}
-		svc, again := serveOne(d, r, now, inj, &res, p)
-		now += svc
-		res.Busy += svc
-		if again {
-			requeue(s, r)
-			if p != nil {
-				p.Observe(ProbeEvent{Kind: EventRequeue, Time: now, Req: r, Queue: s.Len()})
-			}
-			continue
-		}
-		r.Finish = now
-		completed++
-		ctx.progress(completed, now)
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r,
-				Measured: completed > opts.Warmup && !r.Failed})
-		}
-		if opts.OnComplete != nil {
-			opts.OnComplete(r)
-		}
-		if inj != nil {
-			classify(r, &res)
-		}
-		if completed > opts.Warmup && !r.Failed {
-			res.Requests++
-			res.Response.Add(r.ResponseTime())
-			res.Service.Add(r.ServiceTime())
-			res.QueueLen.Add(float64(qlen))
-			if qlen > res.MaxQueue {
-				res.MaxQueue = qlen
-			}
-		}
-	}
-	res.Elapsed = now
-	res.Phases = phaseStats(p)
-	if inj != nil && inj.Array() != nil {
-		res.DataLoss = inj.Array().DataLoss()
-	}
-	return res
+	e := newEngine(ctx, opts)
+	e.runOpen(d, s, src)
+	e.loop()
+	e.finalize()
+	return e.res
 }
 
-// RunClosed executes a closed, back-to-back simulation: each request
-// begins the moment the previous one completes (no queueing). This is the
-// regime of the data-placement experiments (§5.3), which compare average
-// service times.
+// RunClosed executes a closed simulation: each request begins the
+// moment the previous one completes (no queueing) — the regime of the
+// data-placement experiments (§5.3), which compare average service
+// times. When src implements workload.Thinker (workload.ThinkTime),
+// each request additionally waits out a per-request think-time draw
+// before issuing, modeling a multiprogrammed closed loop; plain sources
+// keep the back-to-back behavior.
 func RunClosed(ctx *Context, d core.Device, src workload.Source, opts Options) Result {
 	d.Reset()
-	inj := opts.Injector
-	if inj != nil {
-		inj.Reset()
-	}
-	p := opts.Probe
-	resetProbe(p)
-	var res Result
-	now := 0.0
-	completed := 0
-	for r := src.Next(); r != nil; r = src.Next() {
-		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
-			break
-		}
-		r.Arrival = now
-		r.Start = now
-		if p != nil {
-			// Closed regime: arrival and dispatch coincide; the "queue"
-			// is the request itself.
-			p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
-			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1})
-		}
-		// With no queue to return to, a failed visit re-services the
-		// request immediately, spending the requeue budget in place.
-		total := 0.0
-		for {
-			svc, again := serveOne(d, r, now, inj, &res, p)
-			now += svc
-			total += svc
-			res.Busy += svc
-			if !again {
-				break
-			}
-			if p != nil {
-				p.Observe(ProbeEvent{Kind: EventRequeue, Time: now, Req: r, Queue: 1})
-			}
-		}
-		r.Finish = now
-		completed++
-		ctx.progress(completed, now)
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r,
-				Measured: completed > opts.Warmup && !r.Failed})
-		}
-		if opts.OnComplete != nil {
-			opts.OnComplete(r)
-		}
-		if inj != nil {
-			classify(r, &res)
-		}
-		if completed > opts.Warmup && !r.Failed {
-			res.Requests++
-			res.Response.Add(total)
-			res.Service.Add(total)
-		}
-	}
-	res.Elapsed = now
-	res.Phases = phaseStats(p)
-	if inj != nil && inj.Array() != nil {
-		res.DataLoss = inj.Array().DataLoss()
-	}
-	return res
+	e := newEngine(ctx, opts)
+	e.runClosed(d, src)
+	e.loop()
+	e.finalize()
+	return e.res
 }
 
 // ─── Generic event queue ───────────────────────────────────────────────
 //
-// The queueing loops above need no event heap, but other simulations in
-// this repository (the power-management policies, which juggle idle
-// timers and restarts) do. EventQueue is a minimal deterministic
-// time-ordered event list with stable FIFO ordering for simultaneous
-// events.
+// EventQueue is the substrate under engine.go's discrete-event core (and
+// other simulations in this repository, such as the power-management
+// policies): a minimal deterministic time-ordered event list with stable
+// FIFO ordering for simultaneous events.
 
 // Event is a timestamped callback.
 type Event struct {

@@ -116,11 +116,15 @@ type volReq struct {
 // RunVolume drives an open-arrival workload over a redundant volume.
 // Arrivals plan into member operations under the volume's current
 // redundancy state; scheduled device failures (Options.Injector's
-// device-event schedule — its other fault classes are not consumed
-// here) flip members mid-run, after which reads are reconstructed from
-// peers, writes pay the redundancy-update penalty, and a hot spare (if
-// configured) is rebuilt online by throttled background chunk scans
-// competing in the same member queues.
+// device-event schedule) flip members mid-run, after which reads are
+// reconstructed from peers, writes pay the redundancy-update penalty,
+// and a hot spare (if configured) is rebuilt online by throttled
+// background chunk scans competing in the same member queues. Member
+// operations are served through the shared engine visit path, so the
+// injector's other fault classes — transient retries, member-queue
+// requeues, lost-sector reads, ECC surcharges — apply to every member
+// visit too; a member op that exhausts its budgets fails its parent
+// volume request.
 //
 // Member-level operations emit arrive/dispatch/service probe events
 // (Dev = physical device index); volume-level requests emit complete
@@ -165,42 +169,36 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 	if frac < 0 || frac > 1 {
 		return Result{}, fmt.Errorf("sim: rebuild fraction %g out of (0,1]", spec.RebuildFrac)
 	}
-	inj := opts.Injector
-	if inj != nil {
+	if inj := opts.Injector; inj != nil {
 		for _, ev := range inj.DeviceEvents() {
 			if ev.Dev >= cfg.Members {
 				return Result{}, fmt.Errorf("sim: device failure targets member slot %d of %d",
 					ev.Dev, cfg.Members)
 			}
 		}
-		inj.Reset()
 	}
 
 	v.Reset()
-	for i := range devs {
-		devs[i].Reset()
-		scheds[i].Reset()
-	}
-	p := opts.Probe
-	resetProbe(p)
+	e := newEngine(ctx, opts)
+	ms := newMemberSet(devs, scheds, e.p)
+	finish := e.runVolume(v, ms, src, chunk, frac)
+	e.loop()
+	e.finalize()
+	finish()
+	ms.attach(&e.res)
+	return e.res, nil
+}
 
-	var (
-		res    Result
-		vstats VolumeStats
-		q      EventQueue
-	)
-	busy := make([]bool, len(devs))
-	members := make([]MemberResult, len(devs))
-	var memberPhases []PhaseStats
-	if findPhaseCollector(p) != nil {
-		memberPhases = make([]PhaseStats, len(devs))
-	}
+// runVolume wires the eager arrival chain to a redundant fork-join
+// member set. It returns a closure the adapter must call after the
+// event loop drains, closing the still-open degraded window and
+// publishing the volume aggregates.
+func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, chunk int, frac float64) func() {
+	var vstats VolumeStats
 	// opmap resolves a queued member request back to its volume intent;
-	// entries are deleted at dispatch (and at failure-time drains), and
+	// entries are deleted at dispatch (requeued ops re-register), and
 	// the map is never iterated, so determinism is preserved.
 	opmap := make(map[*core.Request]*volReq)
-	completed := 0
-	stopped := false
 	// degradedSince and failStart track the open degraded window and
 	// the active failure for MTTR accounting; -1 when closed.
 	degradedSince := -1.0
@@ -216,10 +214,10 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 		dev := v.DeviceOf(op.Slot)
 		mr := &core.Request{Arrival: vr.r.Arrival, Op: op.Op, LBN: op.LBN, Blocks: op.Blocks}
 		opmap[mr] = vr
-		scheds[dev].Add(mr)
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Dev: dev, Req: mr,
-				Queue: scheds[dev].Len()})
+		ms.scheds[dev].Add(mr)
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Dev: dev, Req: mr,
+				Queue: ms.scheds[dev].Len()})
 		}
 		dispatch(dev)
 	}
@@ -249,55 +247,47 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 		r := vr.r
 		r.Finish = now
 		r.Degraded = vr.degradedRead
-		completed++
-		ctx.progress(completed, now)
-		measured := completed > opts.Warmup && !r.Failed
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventComplete, Time: now, Req: r, Measured: measured})
-		}
-		if opts.OnComplete != nil {
-			opts.OnComplete(r)
-		}
-		if r.Failed {
-			res.FailedRequests++
-			vstats.LostRequests++
-			if r.Op == core.Read {
-				res.LostReads++
+		e.complete(now, r, 0, vr.qlen, r.ResponseTime(), r.ServiceTime(), false, func(measured bool) {
+			// The volume keeps its own fault tallies (classify would
+			// double-count): a failed foreground request is a lost
+			// request at volume scope whatever first broke it.
+			if r.Failed {
+				e.res.FailedRequests++
+				vstats.LostRequests++
+				if r.Op == core.Read {
+					e.res.LostReads++
+				}
 			}
-		}
-		if vr.degradedRead {
-			res.DegradedReads++
-			vstats.DegradedReads++
-		}
-		if vr.degradedWrite {
-			vstats.DegradedWrites++
-		}
-		if vr.spareRead {
-			vstats.SpareReads++
-		}
-		if measured {
-			res.Requests++
-			resp := r.ResponseTime()
-			res.Response.Add(resp)
-			res.Service.Add(r.ServiceTime())
-			res.QueueLen.Add(float64(vr.qlen))
-			if vr.qlen > res.MaxQueue {
-				res.MaxQueue = vr.qlen
+			if vr.degradedRead {
+				e.res.DegradedReads++
+				vstats.DegradedReads++
 			}
-			if v.Degraded() || v.Lost() {
-				vstats.Degraded.Add(resp)
-			} else {
-				vstats.Healthy.Add(resp)
+			if vr.degradedWrite {
+				vstats.DegradedWrites++
 			}
-		}
-		if opts.MaxRequests > 0 && completed >= opts.MaxRequests {
-			stopped = true
-		}
+			if vr.spareRead {
+				vstats.SpareReads++
+			}
+			if measured {
+				if v.Degraded() || v.Lost() {
+					vstats.Degraded.Add(r.ResponseTime())
+				} else {
+					vstats.Healthy.Add(r.ResponseTime())
+				}
+			}
+		})
 	}
 
 	chunkDone := func(vr *volReq, now float64) {
-		if vr.r.Failed || v.Lost() || !v.Rebuilding() {
+		if v.Lost() || !v.Rebuilding() {
 			return // a second failure killed the rebuild mid-chunk
+		}
+		if vr.r.Failed {
+			// A fault-injected member op exhausted its budgets mid-chunk:
+			// the rebuild cursor did not advance, so re-scan the same
+			// chunk rather than silently abandoning the rebuild.
+			e.q.Schedule(now, func() { startChunk(e.q.Now()) })
+			return
 		}
 		vstats.RebuildChunks++
 		v.Advance(vr.chunkBlocks)
@@ -308,8 +298,8 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 			vstats.RebuildMs += now - failStart
 			vstats.DegradedMs += now - degradedSince
 			degradedSince, failStart = -1, -1
-			if p != nil {
-				p.Observe(ProbeEvent{Kind: EventRebuildDone, Time: now, Dev: slot})
+			if e.p != nil {
+				e.p.Observe(ProbeEvent{Kind: EventRebuildDone, Time: now, Dev: slot})
 			}
 			return
 		}
@@ -319,7 +309,7 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 		if frac < 1 {
 			gap = (now - vr.chunkStart) * (1 - frac) / frac
 		}
-		q.Schedule(now+gap, func() { startChunk(q.Now()) })
+		e.q.Schedule(now+gap, func() { startChunk(e.q.Now()) })
 	}
 
 	finish := func(vr *volReq, now float64) {
@@ -364,16 +354,16 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 	}
 
 	dispatch = func(i int) {
-		if busy[i] || stopped {
+		if ms.busy[i] || e.stopped {
 			return
 		}
-		now := q.Now()
-		qlen := scheds[i].Len()
-		mr := scheds[i].Next(devs[i], now)
+		now := e.q.Now()
+		qlen := ms.scheds[i].Len()
+		mr := ms.scheds[i].Next(ms.devs[i], now)
 		if mr == nil {
 			return
 		}
-		busy[i] = true
+		ms.busy[i] = true
 		vr := opmap[mr]
 		delete(opmap, mr)
 		if !vr.started {
@@ -383,34 +373,49 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 		if qlen > vr.qlen {
 			vr.qlen = qlen
 		}
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: mr, Queue: qlen})
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: mr, Queue: qlen})
 		}
-		svc := devs[i].Access(mr, now)
+		// The shared visit path accumulates the member op's phase
+		// breakdown into the parent volume request and applies fault
+		// injection (transient retries, lost-sector reads, surcharges).
+		svc, bd, again := e.serveVisit(ms.devs[i], mr, vr.r, i, now)
 		mr.Start, mr.Finish = now, now+svc
-		members[i].Requests++
-		members[i].Busy += svc
-		res.Busy += svc
+		ms.members[i].Requests++
+		ms.members[i].Busy += svc
+		e.res.Busy += svc
 		if vr.rebuild {
 			vstats.RebuildBusy += svc
 		}
-		if p != nil {
-			bd := breakdownOf(devs[i], svc)
-			vr.r.Phases.Accumulate(bd)
-			if memberPhases != nil {
-				memberPhases[i].add(bd)
-			}
-			p.Observe(ProbeEvent{Kind: EventService, Time: now + svc, Dev: i, Req: mr, Breakdown: bd})
+		if ms.phases != nil {
+			ms.phases[i].add(bd)
 		}
-		q.Schedule(now+svc, func() {
-			busy[i] = false
-			opDone(vr, q.Now())
+		e.q.Schedule(now+svc, func() {
+			ms.busy[i] = false
+			if again {
+				// The visit exhausted its retries with requeue budget
+				// left: the member op goes back to its own queue and the
+				// fork-join leg stays outstanding.
+				opmap[mr] = vr
+				requeue(ms.scheds[i], mr)
+				if e.p != nil {
+					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: now + svc, Dev: i, Req: mr,
+						Queue: ms.scheds[i].Len()})
+				}
+			} else {
+				if mr.Failed {
+					// The member op exhausted every budget (or addressed
+					// lost sectors): its parent volume request fails.
+					vr.r.Failed = true
+				}
+				opDone(vr, e.q.Now())
+			}
 			dispatch(i)
 		})
 	}
 
 	startChunk = func(now float64) {
-		if stopped || v.Lost() || !v.Rebuilding() {
+		if e.stopped || v.Lost() || !v.Rebuilding() {
 			return
 		}
 		plan, blocks := v.PlanRebuildChunk(chunk)
@@ -436,7 +441,7 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 	// bus when the device died.
 	drainDead := func(devIdx, slot int, now float64) {
 		for {
-			mr := scheds[devIdx].Next(devs[devIdx], now)
+			mr := ms.scheds[devIdx].Next(ms.devs[devIdx], now)
 			if mr == nil {
 				return
 			}
@@ -474,27 +479,35 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 		if first {
 			degradedSince, failStart = now, now
 		}
-		if p != nil {
-			p.Observe(ProbeEvent{Kind: EventDeviceFail, Time: now, Dev: slot})
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventDeviceFail, Time: now, Dev: slot})
 		}
 		if v.Lost() {
-			res.DataLoss = true
+			e.res.DataLoss = true
 		}
 		drainDead(deadDev, slot, now)
 		if first && !v.Lost() && v.BeginRebuild() {
 			vstats.RebuildsStarted++
-			if p != nil {
-				p.Observe(ProbeEvent{Kind: EventRebuildStart, Time: now, Dev: slot})
+			if e.p != nil {
+				e.p.Observe(ProbeEvent{Kind: EventRebuildStart, Time: now, Dev: slot})
 			}
 			startChunk(now)
 		}
 	}
 
+	// Scheduled device failures fire from the injector's device-event
+	// schedule; they are enqueued before the arrival chain so a failure
+	// coinciding with an arrival fires first (stable FIFO ties).
+	if e.inj != nil {
+		for _, ev := range e.inj.DeviceEvents() {
+			ev := ev
+			e.q.Schedule(ev.AtMs, func() { failSlot(ev.Dev, e.q.Now()) })
+		}
+	}
 	// Arrival chain: plan each foreground request under the current
 	// redundancy state and fork its first phase.
-	var arrive func(r *core.Request)
-	arrive = func(r *core.Request) {
-		now := q.Now()
+	e.chainArrivals(src, func(r *core.Request) {
+		now := e.q.Now()
 		var (
 			plan array.Plan
 			ok   bool
@@ -521,36 +534,15 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 			}
 		}
 		issue(vr, now)
-		if next := src.Next(); next != nil {
-			q.Schedule(next.Arrival, func() { arrive(next) })
-		}
-	}
+	})
 
-	if inj != nil {
-		for _, ev := range inj.DeviceEvents() {
-			ev := ev
-			q.Schedule(ev.AtMs, func() { failSlot(ev.Dev, q.Now()) })
+	return func() {
+		if degradedSince >= 0 {
+			vstats.DegradedMs += e.res.Elapsed - degradedSince
 		}
-	}
-	if first := src.Next(); first != nil {
-		q.Schedule(first.Arrival, func() { arrive(first) })
-	}
-	for !stopped && q.Step() {
-	}
-	res.Elapsed = q.Now()
-	if degradedSince >= 0 {
-		vstats.DegradedMs += res.Elapsed - degradedSince
-	}
-	if v.Lost() {
-		res.DataLoss = true
-	}
-	res.Phases = phaseStats(p)
-	for i := range members {
-		if memberPhases != nil {
-			members[i].Phases = &memberPhases[i]
+		if v.Lost() {
+			e.res.DataLoss = true
 		}
+		e.res.Volume = &vstats
 	}
-	res.Members = members
-	res.Volume = &vstats
-	return res, nil
 }

@@ -195,6 +195,69 @@ func (w *Bipartite) Next() *core.Request {
 	return &core.Request{Op: core.Read, LBN: lbn, Blocks: blocks}
 }
 
+// Thinker is implemented by sources that attach a think-time delay to
+// each request. The closed-loop simulator (sim.RunClosed) consults it:
+// after a completion, the next request issues only once the most
+// recently drawn think time has elapsed, modeling a multiprogrammed
+// closed regime (a TPC-C-style terminal pool) instead of the default
+// back-to-back loop. Sources that do not implement Thinker keep the
+// historical zero-think behavior.
+type Thinker interface {
+	// ThinkMs returns the think time in milliseconds drawn for the most
+	// recent request returned by Next.
+	ThinkMs() float64
+}
+
+// ThinkDist draws one think time in milliseconds from rng.
+type ThinkDist func(rng *rand.Rand) float64
+
+// ExpThink returns an exponential think-time distribution with the
+// given mean in milliseconds; a non-positive mean always draws zero.
+func ExpThink(meanMs float64) ThinkDist {
+	return func(rng *rand.Rand) float64 {
+		if meanMs <= 0 {
+			return 0
+		}
+		return rng.ExpFloat64() * meanMs
+	}
+}
+
+// ThinkSource wraps a Source with per-request think-time draws; see
+// ThinkTime.
+type ThinkSource struct {
+	src  Source
+	dist ThinkDist
+	rng  *rand.Rand
+	last float64
+}
+
+// ThinkTime wraps src so every request carries a think-time draw from
+// dist, seeded independently of the wrapped stream (the arrival rng is
+// untouched, so the request sequence is identical with or without the
+// wrapper — only issue timing changes, and only in regimes that consult
+// Thinker). A nil dist draws zero think time.
+func ThinkTime(src Source, dist ThinkDist, seed int64) *ThinkSource {
+	return &ThinkSource{src: src, dist: dist, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Source, drawing the think time that precedes the
+// returned request.
+func (t *ThinkSource) Next() *core.Request {
+	r := t.src.Next()
+	if r == nil {
+		return nil
+	}
+	if t.dist == nil {
+		t.last = 0
+	} else {
+		t.last = t.dist(t.rng)
+	}
+	return r
+}
+
+// ThinkMs implements Thinker.
+func (t *ThinkSource) ThinkMs() float64 { return t.last }
+
 // Slice drains a source into a slice; tests and experiments use it when
 // they need the whole stream at once.
 func Slice(s Source) []*core.Request {

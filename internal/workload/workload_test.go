@@ -203,3 +203,53 @@ func TestSliceAndFromSlice(t *testing.T) {
 		t.Error("FromSlice should be exhausted")
 	}
 }
+
+func TestThinkTimePassthrough(t *testing.T) {
+	// The wrapper must not disturb the wrapped stream: same requests, in
+	// order, regardless of the think distribution.
+	base := Slice(DefaultRandom(100, 512, 1<<20, 30, 4))
+	wrapped := ThinkTime(NewFromSlice(base), ExpThink(10), 7)
+	for i := 0; i < len(base); i++ {
+		r := wrapped.Next()
+		if r != base[i] {
+			t.Fatalf("request %d altered by ThinkTime wrapper", i)
+		}
+		if wrapped.ThinkMs() < 0 {
+			t.Fatalf("negative think time %g", wrapped.ThinkMs())
+		}
+	}
+	if wrapped.Next() != nil {
+		t.Error("wrapper should be exhausted with its source")
+	}
+}
+
+func TestThinkTimeDraws(t *testing.T) {
+	// Exponential draws with mean 10 ms: the sample mean over 2000 draws
+	// lands near 10, and the same seed reproduces the same sequence.
+	mk := func() *ThinkSource {
+		return ThinkTime(NewFromSlice(Slice(DefaultRandom(100, 512, 1<<20, 2000, 4))), ExpThink(10), 9)
+	}
+	a, b := mk(), mk()
+	sum := 0.0
+	for r := a.Next(); r != nil; r = a.Next() {
+		b.Next()
+		if a.ThinkMs() != b.ThinkMs() {
+			t.Fatal("same-seed think draws diverged")
+		}
+		sum += a.ThinkMs()
+	}
+	if mean := sum / 2000; mean < 8 || mean > 12 {
+		t.Errorf("think mean = %g, want ~10", mean)
+	}
+
+	// A nil distribution and a non-positive mean both draw zero.
+	z := ThinkTime(NewFromSlice(Slice(DefaultRandom(100, 512, 1<<20, 5, 4))), nil, 1)
+	for r := z.Next(); r != nil; r = z.Next() {
+		if z.ThinkMs() != 0 {
+			t.Errorf("nil dist drew %g", z.ThinkMs())
+		}
+	}
+	if d := ExpThink(0); d(nil) != 0 {
+		t.Error("ExpThink(0) should draw zero without touching rng")
+	}
+}
