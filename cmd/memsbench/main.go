@@ -17,6 +17,10 @@
 //	memsbench -run fig11 -think-ms 10
 //	                              # closed-loop terminals with think time
 //	                              # (default 0: the paper's back-to-back regime)
+//	memsbench -run mttdl -trials 500 -mttf-hours 2000
+//	                              # Monte-Carlo MTTDL under the lifetime model
+//	memsbench -run rebuild -rebuild-policy adaptive
+//	                              # queue-aware rebuild pacing only
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault, faultinject and power (DESIGN.md §2).
@@ -30,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -55,6 +60,9 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
 		failDev   = flag.Int("fail-dev", 0, "volume member slot the rebuild experiment kills (reduced modulo the member count)")
 		rebuild   = flag.Float64("rebuild", 0, "extra rebuild-throttle fraction for the rebuild sweep, in (0,1]; 0 keeps the standard sweep")
+		policy    = flag.String("rebuild-policy", "", "rebuild pacing for the rebuild sweep: \"\" (fixed sweep + adaptive row), \"fixed\", or \"adaptive\"")
+		mttfHours = flag.Float64("mttf-hours", 0, "per-device exponential MTTF in hours for the mttdl experiment (0: default 1000, compressed scale)")
+		trials    = flag.Int("trials", 0, "override the Monte-Carlo trial count (mttdl and other multi-trial experiments; 0 keeps the preset)")
 		thinkMs   = flag.Float64("think-ms", 0, "mean exponential think time (ms) for closed-loop terminals (fig11); 0 keeps the paper's back-to-back regime")
 		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 	)
@@ -71,25 +79,25 @@ func main() {
 	if *quick {
 		p = experiments.Quick()
 	}
-	if *faultRate < 0 || *faultRate >= 1 {
-		fatal(fmt.Errorf("-fault-rate %g out of [0,1)", *faultRate))
-	}
-	if *rebuild < 0 || *rebuild > 1 {
-		fatal(fmt.Errorf("-rebuild %g out of [0,1]", *rebuild))
-	}
-	if *failDev < 0 {
-		fatal(fmt.Errorf("-fail-dev %d must be non-negative", *failDev))
-	}
-	if *thinkMs < 0 {
-		fatal(fmt.Errorf("-think-ms %g must be non-negative", *thinkMs))
+	if err := validateFlags(flagValues{
+		faultRate: *faultRate, rebuild: *rebuild, rebuildPolicy: *policy,
+		mttfHours: *mttfHours, trials: *trials, failDev: *failDev, thinkMs: *thinkMs,
+	}); err != nil {
+		fatal(err)
 	}
 	p.Seed = *seed
 	p.FaultRate = *faultRate
 	p.FaultSeed = *faultSeed
 	p.FailDev = *failDev
 	p.RebuildFrac = *rebuild
+	p.RebuildPolicy = *policy
+	p.MTTFHours = *mttfHours
 	p.ThinkMs = *thinkMs
 	p = p.WithRequests(*reqs)
+	// An explicit -trials wins over the preset and any -requests rescale.
+	if *trials > 0 {
+		p.Trials = *trials
+	}
 
 	ids := experiments.IDs()
 	if *run != "all" {
@@ -161,6 +169,47 @@ func main() {
 			}
 		}
 	}
+}
+
+// flagValues collects the fault/rebuild/availability knobs subject to
+// parse-time validation, so a bad value fails with a one-line error
+// before any simulation starts.
+type flagValues struct {
+	faultRate     float64
+	rebuild       float64
+	rebuildPolicy string
+	mttfHours     float64
+	trials        int
+	failDev       int
+	thinkMs       float64
+}
+
+// validateFlags rejects out-of-range or nonsensical knob values.
+func validateFlags(v flagValues) error {
+	if v.faultRate < 0 || v.faultRate >= 1 || math.IsNaN(v.faultRate) {
+		return fmt.Errorf("-fault-rate %g out of [0,1)", v.faultRate)
+	}
+	if v.rebuild < 0 || v.rebuild > 1 || math.IsNaN(v.rebuild) {
+		return fmt.Errorf("-rebuild %g out of [0,1]", v.rebuild)
+	}
+	switch v.rebuildPolicy {
+	case "", "fixed", "adaptive":
+	default:
+		return fmt.Errorf("-rebuild-policy %q must be \"fixed\" or \"adaptive\" (empty runs both)", v.rebuildPolicy)
+	}
+	if v.mttfHours < 0 || math.IsNaN(v.mttfHours) || math.IsInf(v.mttfHours, 0) {
+		return fmt.Errorf("-mttf-hours %g must be a positive number of hours (0: default)", v.mttfHours)
+	}
+	if v.trials < 0 {
+		return fmt.Errorf("-trials %d must be non-negative (0: preset default)", v.trials)
+	}
+	if v.failDev < 0 {
+		return fmt.Errorf("-fail-dev %d must be non-negative", v.failDev)
+	}
+	if v.thinkMs < 0 {
+		return fmt.Errorf("-think-ms %g must be non-negative", v.thinkMs)
+	}
+	return nil
 }
 
 func writeCSV(t experiments.Table, out string) {

@@ -1,11 +1,56 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(flagValues{}); err != nil {
+		t.Fatalf("zero values rejected: %v", err)
+	}
+	good := flagValues{faultRate: 0.02, rebuild: 0.3, rebuildPolicy: "adaptive",
+		mttfHours: 2000, trials: 500, failDev: 1, thinkMs: 5}
+	if err := validateFlags(good); err != nil {
+		t.Fatalf("valid values rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*flagValues)
+		flag string
+	}{
+		{"negative fault rate", func(v *flagValues) { v.faultRate = -0.1 }, "-fault-rate"},
+		{"fault rate one", func(v *flagValues) { v.faultRate = 1 }, "-fault-rate"},
+		{"nan fault rate", func(v *flagValues) { v.faultRate = math.NaN() }, "-fault-rate"},
+		{"negative rebuild", func(v *flagValues) { v.rebuild = -0.5 }, "-rebuild"},
+		{"rebuild above one", func(v *flagValues) { v.rebuild = 1.5 }, "-rebuild"},
+		{"unknown policy", func(v *flagValues) { v.rebuildPolicy = "turbo" }, "-rebuild-policy"},
+		{"negative mttf", func(v *flagValues) { v.mttfHours = -1 }, "-mttf-hours"},
+		{"nan mttf", func(v *flagValues) { v.mttfHours = math.NaN() }, "-mttf-hours"},
+		{"inf mttf", func(v *flagValues) { v.mttfHours = math.Inf(1) }, "-mttf-hours"},
+		{"negative trials", func(v *flagValues) { v.trials = -5 }, "-trials"},
+		{"negative fail dev", func(v *flagValues) { v.failDev = -1 }, "-fail-dev"},
+		{"negative think", func(v *flagValues) { v.thinkMs = -1 }, "-think-ms"},
+	}
+	for _, tc := range cases {
+		v := good
+		tc.mut(&v)
+		err := validateFlags(v)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.flag)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%s: error %q is not one line", tc.name, err)
+		}
+	}
+}
 
 func TestOpenTraceRejectsDirectory(t *testing.T) {
 	dir := t.TempDir()

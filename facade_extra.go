@@ -249,3 +249,41 @@ type MemberStats = sim.MemberResult
 func SimulateVolume(spec VolumeSpec, src WorkloadSource, opts SimOptions) (SimResult, error) {
 	return sim.RunVolume(nil, spec, src, opts)
 }
+
+// ─── Availability under failure (lifetime model + rebuild pacing) ───────
+
+// RebuildPolicy paces a volume's online rebuild; set one on
+// VolumeSpec.RebuildPolicy. Implementations must be deterministic.
+type RebuildPolicy = sim.RebuildPolicy
+
+// FixedRebuildPolicy is the default constant-duty-cycle throttle
+// (equivalent to VolumeSpec.RebuildFrac).
+type FixedRebuildPolicy = sim.FixedRebuild
+
+// AdaptiveRebuildPolicy backs the rebuild off as foreground queue depth
+// grows and sprints when the queues are idle, trading MTTR against
+// foreground latency automatically.
+type AdaptiveRebuildPolicy = sim.AdaptiveRebuild
+
+// DeviceLifetimeModel draws whole-device failure times from per-slot
+// exponential lifetime streams (seeded, deterministic); attach one via
+// FaultInjectorConfig.Lifetime to have the injector draw device
+// failures instead of — or in addition to — fixed schedules.
+type DeviceLifetimeModel = fault.LifetimeModel
+
+// LifetimeSampler draws exponential lifetimes one at a time, the
+// primitive under Monte-Carlo availability estimates.
+type LifetimeSampler = fault.LifetimeSampler
+
+// NewLifetimeSampler returns a sampler with the given mean (ms) and seed.
+func NewLifetimeSampler(mttfMs float64, seed int64) *LifetimeSampler {
+	return fault.NewLifetimeSampler(mttfMs, seed)
+}
+
+// TimeToDataLoss simulates one volume lifetime as a renewal process —
+// member failure, vulnerable rebuild window, repair or second failure —
+// and returns the simulated time of the first data loss (ok=false if
+// maxCycles elapsed without one).
+func TimeToDataLoss(s *LifetimeSampler, members int, windowMs float64, maxCycles int) (float64, bool) {
+	return fault.TimeToDataLoss(s, members, windowMs, maxCycles)
+}

@@ -48,6 +48,18 @@ type Params struct {
 	// RebuildFrac, when positive, adds an extra rebuild-throttle fraction
 	// to the rebuild experiment's sweep (cmd/memsbench -rebuild).
 	RebuildFrac float64
+	// RebuildPolicy selects the rebuild experiment's pacing policies
+	// (cmd/memsbench -rebuild-policy): "" runs the fixed-throttle sweep
+	// plus the adaptive row, "fixed" the sweep alone, "adaptive" only the
+	// adaptive row.
+	RebuildPolicy string
+	// MTTFHours is the per-device exponential MTTF for the mttdl
+	// experiment's lifetime draws (cmd/memsbench -mttf-hours); zero
+	// selects the default (see xmttdl.go). The value is deliberately
+	// compressed versus real hardware so trial lifetimes stay tractable;
+	// MTTDL scales as MTTF², so ratios between device types are
+	// unaffected.
+	MTTFHours float64
 	// ThinkMs, when positive, gives the closed-loop layout experiment's
 	// terminals exponential think time with this mean in milliseconds
 	// (cmd/memsbench -think-ms), turning the back-to-back §5.3 regime

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -325,8 +326,12 @@ func TestRebuildShape(t *testing.T) {
 		t.Fatalf("tables = %d, want 3", len(ts))
 	}
 	sweep := ts[0]
-	if len(sweep.Rows) != 4 {
-		t.Fatalf("throttle rows = %d, want 4", len(sweep.Rows))
+	// Four fixed throttle fractions plus the adaptive policy row.
+	if len(sweep.Rows) != 5 {
+		t.Fatalf("throttle rows = %d, want 5", len(sweep.Rows))
+	}
+	if got := sweep.Rows[4][0]; got != "adaptive" {
+		t.Fatalf("last sweep row = %q, want the adaptive policy", got)
 	}
 	var prevMEMS float64
 	for i, row := range sweep.Rows {
@@ -337,8 +342,9 @@ func TestRebuildShape(t *testing.T) {
 			t.Errorf("throttle %s: MEMS MTTR %g s vs disk %g s, want MEMS ≪ disk",
 				row[0], memsMTTR, diskMTTR)
 		}
-		// Raising the throttle fraction must shorten the rebuild.
-		if i > 0 && memsMTTR >= prevMEMS {
+		// Raising the throttle fraction must shorten the rebuild (the
+		// adaptive row is not part of the fixed ordering).
+		if i > 0 && i < 4 && memsMTTR >= prevMEMS {
 			t.Errorf("throttle %s: MTTR %g s not below previous %g s", row[0], memsMTTR, prevMEMS)
 		}
 		prevMEMS = memsMTTR
@@ -347,9 +353,24 @@ func TestRebuildShape(t *testing.T) {
 			t.Errorf("throttle %s: lost requests = %s", row[0], row[5])
 		}
 	}
+	// The adaptive policy must beat the fixed frontier somewhere: for at
+	// least one fixed fraction it achieves equal-or-better MEMS MTTR and
+	// equal-or-better MEMS degraded p95 (the fixed policy can only trade
+	// one against the other).
+	fg := ts[1]
+	adMTTR, adP95 := cell(t, sweep.Rows[4][1]), cell(t, fg.Rows[4][2])
+	dominated := false
+	for i := 0; i < 4; i++ {
+		if adMTTR <= cell(t, sweep.Rows[i][1]) && adP95 <= cell(t, fg.Rows[i][2]) {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Errorf("adaptive (MTTR %g s, degraded p95 %g ms) beats no fixed operating point",
+			adMTTR, adP95)
+	}
 	// Degraded-mode foreground service costs more than healthy on both
 	// device types, at every throttle.
-	fg := ts[1]
 	for _, row := range fg.Rows {
 		if cell(t, row[2]) <= cell(t, row[1]) {
 			t.Errorf("throttle %s: MEMS degraded p95 %s not above healthy %s", row[0], row[2], row[1])
@@ -365,5 +386,77 @@ func TestRebuildShape(t *testing.T) {
 	}
 	if cell(t, mir.Rows[1][1]) <= cell(t, mir.Rows[0][1]) {
 		t.Errorf("mirror: disk MTTR %s not above MEMS %s", mir.Rows[1][1], mir.Rows[0][1])
+	}
+}
+
+func TestRebuildPolicyModes(t *testing.T) {
+	// "fixed" reproduces the historical sweep alone; "adaptive" is the
+	// fast smoke path — one policy row, no mirror table.
+	p := tiny()
+	p.RebuildPolicy = "fixed"
+	ts, err := Run("rebuild", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || len(ts[0].Rows) != 4 {
+		t.Fatalf("fixed mode: %d tables, %d sweep rows; want 3 tables, 4 rows",
+			len(ts), len(ts[0].Rows))
+	}
+	p.RebuildPolicy = "adaptive"
+	ts, err = Run("rebuild", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || len(ts[0].Rows) != 1 || ts[0].Rows[0][0] != "adaptive" {
+		t.Fatalf("adaptive mode: %d tables, rows %v; want 2 tables with one adaptive row",
+			len(ts), ts[0].Rows)
+	}
+	if mttr := cell(t, ts[0].Rows[0][1]); mttr <= 0 {
+		t.Errorf("adaptive MEMS MTTR = %g s", mttr)
+	}
+}
+
+func TestMTTDLShape(t *testing.T) {
+	ts := MTTDL(tiny())
+	if len(ts) != 1 {
+		t.Fatalf("tables = %d, want 1", len(ts))
+	}
+	tbl := ts[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want mirror + parity", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		memsW, diskW := cell(t, row[1]), cell(t, row[2])
+		memsL, diskL := cell(t, row[3]), cell(t, row[4])
+		ratio := cell(t, row[5])
+		if memsW <= 0 || diskW <= memsW {
+			t.Errorf("%s: windows MEMS %g s / disk %g s, want 0 < MEMS < disk", row[0], memsW, diskW)
+		}
+		if memsL <= 0 || diskL <= 0 || memsL <= diskL {
+			t.Errorf("%s: MTTDL MEMS %g h / disk %g h, want MEMS > disk > 0", row[0], memsL, diskL)
+		}
+		// Common random numbers tie the MTTDL ratio to the window ratio:
+		// the same lifetime draws are replayed against both windows, so
+		// the estimate concentrates near diskW/memsW even at test-scale
+		// trial counts.
+		wratio := diskW / memsW
+		if ratio < wratio*0.7 || ratio > wratio*1.3 {
+			t.Errorf("%s: MTTDL ratio %g far from window ratio %g", row[0], ratio, wratio)
+		}
+		if c := cell(t, row[6]); c != 0 {
+			t.Errorf("%s: %g censored trials at test scale", row[0], c)
+		}
+	}
+
+	// Same seed, same bytes: the artifact is deterministic.
+	var a, b bytes.Buffer
+	for _, tb := range MTTDL(tiny()) {
+		tb.CSV(&a)
+	}
+	for _, tb := range MTTDL(tiny()) {
+		tb.CSV(&b)
+	}
+	if a.String() != b.String() {
+		t.Error("mttdl output not deterministic")
 	}
 }

@@ -35,13 +35,53 @@ type rebuildOutcome struct {
 	lost        int
 }
 
-func rebuildPlan(p Params) *Plan {
-	// Equal per-member capacity for both device types: the full MEMS G1
-	// sled (6,750,000 sectors = 2500 cylinder-sized rebuild chunks), well
-	// inside the Atlas 10K's 16.9 M sectors.
-	const perMember = 6750000
-	const chunk = 2700
+// Shared volume geometry for the rebuild and mttdl artifacts: equal
+// per-member capacity for both device types — the full MEMS G1 sled
+// (6,750,000 sectors = 2500 cylinder-sized rebuild chunks), well inside
+// the Atlas 10K's 16.9 M sectors.
+const (
+	rebuildPerMember = 6750000
+	rebuildChunk     = 2700
+)
 
+// rebuildParityCfg is the 4-member rotated-parity volume + hot spare.
+func rebuildParityCfg() array.VolumeConfig {
+	return array.VolumeConfig{
+		Level: array.VolParity, Members: 4, Spares: 1,
+		StripeUnit: rebuildChunk, PerMember: rebuildPerMember,
+	}
+}
+
+// rebuildMirrorCfg is the mirrored pair + hot spare.
+func rebuildMirrorCfg() array.VolumeConfig {
+	return array.VolumeConfig{
+		Level: array.VolMirror, Members: 2, Spares: 1,
+		StripeUnit: rebuildChunk, PerMember: rebuildPerMember,
+	}
+}
+
+// rebuildDevice pairs a device factory with a per-device arrival rate
+// sized to comparable utilization (the disk volume saturates far below
+// the MEMS volume — the fig. 6 regime).
+type rebuildDevice struct {
+	name string
+	mk   core.DeviceFactory
+	rate float64
+}
+
+func rebuildDevices() []rebuildDevice {
+	return []rebuildDevice{
+		{"MEMS", func() core.Device { return mems.MustDevice(mems.DefaultConfig()) }, 1000},
+		{"Atlas 10K", func() core.Device { return newDisk() }, 150},
+	}
+}
+
+func rebuildPlan(p Params) *Plan {
+	// Policy selection (cmd/memsbench -rebuild-policy): the default ""
+	// runs the fixed-throttle sweep plus the adaptive row, so the fixed
+	// frontier is the baseline adaptive must beat; "fixed" reproduces the
+	// historical sweep alone; "adaptive" runs only the adaptive row (the
+	// fast CI smoke path).
 	fracs := []float64{0.1, 0.3, 0.6, 1.0}
 	if p.RebuildFrac > 0 {
 		seen := false
@@ -54,26 +94,14 @@ func rebuildPlan(p Params) *Plan {
 			fracs = append(fracs, p.RebuildFrac)
 		}
 	}
-
-	// Per-device arrival rates sized to comparable utilization: the disk
-	// volume saturates far below the MEMS volume (fig. 6 regime).
-	devices := []struct {
-		name string
-		mk   core.DeviceFactory
-		rate float64
-	}{
-		{"MEMS", func() core.Device { return mems.MustDevice(mems.DefaultConfig()) }, 1000},
-		{"Atlas 10K", func() core.Device { return newDisk() }, 150},
+	adaptive := p.RebuildPolicy != "fixed"
+	if p.RebuildPolicy == "adaptive" {
+		fracs = nil
 	}
 
-	parityCfg := array.VolumeConfig{
-		Level: array.VolParity, Members: 4, Spares: 1,
-		StripeUnit: chunk, PerMember: perMember,
-	}
-	mirrorCfg := array.VolumeConfig{
-		Level: array.VolMirror, Members: 2, Spares: 1,
-		StripeUnit: chunk, PerMember: perMember,
-	}
+	devices := rebuildDevices()
+	parityCfg := rebuildParityCfg()
+	mirrorCfg := rebuildMirrorCfg()
 
 	grid := make([][]*runner.Job, len(fracs))
 	var jobs []*runner.Job
@@ -86,24 +114,43 @@ func rebuildPlan(p Params) *Plan {
 				Seed:  p.Seed,
 			}
 			j.Custom = func(job *runner.Job) any {
-				return rebuildRun(job, parityCfg, dev.mk, dev.rate, frac, p)
+				return rebuildRun(job, parityCfg, dev.mk, dev.rate, frac, nil, p)
 			}
 			grid[fi][di] = j
 			jobs = append(jobs, j)
 		}
 	}
-	mirror := make([]*runner.Job, len(devices))
-	for di, dev := range devices {
-		dev := dev
-		j := &runner.Job{
-			Label: fmt.Sprintf("rebuild mirror %s f=0.3", dev.name),
-			Seed:  p.Seed,
+	var adaptiveJobs []*runner.Job
+	if adaptive {
+		adaptiveJobs = make([]*runner.Job, len(devices))
+		for di, dev := range devices {
+			dev := dev
+			j := &runner.Job{
+				Label: fmt.Sprintf("rebuild %s adaptive", dev.name),
+				Seed:  p.Seed,
+			}
+			j.Custom = func(job *runner.Job) any {
+				return rebuildRun(job, parityCfg, dev.mk, dev.rate, 0, sim.AdaptiveRebuild{}, p)
+			}
+			adaptiveJobs[di] = j
+			jobs = append(jobs, j)
 		}
-		j.Custom = func(job *runner.Job) any {
-			return rebuildRun(job, mirrorCfg, dev.mk, dev.rate, 0.3, p)
+	}
+	var mirror []*runner.Job
+	if p.RebuildPolicy != "adaptive" {
+		mirror = make([]*runner.Job, len(devices))
+		for di, dev := range devices {
+			dev := dev
+			j := &runner.Job{
+				Label: fmt.Sprintf("rebuild mirror %s f=0.3", dev.name),
+				Seed:  p.Seed,
+			}
+			j.Custom = func(job *runner.Job) any {
+				return rebuildRun(job, mirrorCfg, dev.mk, dev.rate, 0.3, nil, p)
+			}
+			mirror[di] = j
+			jobs = append(jobs, j)
 		}
-		mirror[di] = j
-		jobs = append(jobs, j)
 	}
 
 	return &Plan{
@@ -121,32 +168,44 @@ func rebuildPlan(p Params) *Plan {
 				Columns: []string{"throttle", "MEMS healthy", "MEMS degraded",
 					"disk healthy", "disk degraded"},
 			}
-			for fi, frac := range fracs {
-				m := grid[fi][0].Value().(rebuildOutcome)
-				d := grid[fi][1].Value().(rebuildOutcome)
-				a.AddRow(f2(frac), f2(m.mttrS), f2(d.mttrS), f2(d.mttrS/m.mttrS),
+			addRows := func(label string, mj, dj *runner.Job) {
+				m := mj.Value().(rebuildOutcome)
+				d := dj.Value().(rebuildOutcome)
+				a.AddRow(label, f2(m.mttrS), f2(d.mttrS), f2(d.mttrS/m.mttrS),
 					fmt.Sprintf("%d", m.chunks), fmt.Sprintf("%d", m.lost+d.lost))
-				b.AddRow(f2(frac), ms(m.healthyP95), ms(m.degradedP95),
+				b.AddRow(label, ms(m.healthyP95), ms(m.degradedP95),
 					ms(d.healthyP95), ms(d.degradedP95))
 			}
-			c := Table{
-				ID:      "rebuild-mirror",
-				Title:   "mirrored pair + hot spare, rebuild throttle 0.3",
-				Columns: []string{"device", "MTTR(s)", "p95 healthy(ms)", "p95 degraded(ms)"},
+			for fi, frac := range fracs {
+				addRows(f2(frac), grid[fi][0], grid[fi][1])
 			}
-			for di, dev := range devices {
-				o := mirror[di].Value().(rebuildOutcome)
-				c.AddRow(dev.name, f2(o.mttrS), ms(o.healthyP95), ms(o.degradedP95))
+			if adaptive {
+				addRows("adaptive", adaptiveJobs[0], adaptiveJobs[1])
 			}
-			return []Table{a, b, c}
+			out := []Table{a, b}
+			if mirror != nil {
+				c := Table{
+					ID:      "rebuild-mirror",
+					Title:   "mirrored pair + hot spare, rebuild throttle 0.3",
+					Columns: []string{"device", "MTTR(s)", "p95 healthy(ms)", "p95 degraded(ms)"},
+				}
+				for di, dev := range devices {
+					o := mirror[di].Value().(rebuildOutcome)
+					c.AddRow(dev.name, f2(o.mttrS), ms(o.healthyP95), ms(o.degradedP95))
+				}
+				out = append(out, c)
+			}
+			return out
 		},
 	}
 }
 
 // rebuildRun drives one volume through a mid-run member failure and
-// online rebuild, and distills the failover metrics.
+// online rebuild, and distills the failover metrics. A non-nil policy
+// paces the rebuild dynamically; nil selects the fixed-fraction
+// throttle frac.
 func rebuildRun(job *runner.Job, cfg array.VolumeConfig, mk core.DeviceFactory,
-	rate, frac float64, p Params) rebuildOutcome {
+	rate, frac float64, policy sim.RebuildPolicy, p Params) rebuildOutcome {
 	v, err := array.NewVolume(cfg)
 	if err != nil {
 		panic(err)
@@ -186,7 +245,7 @@ func rebuildRun(job *runner.Job, cfg array.VolumeConfig, mk core.DeviceFactory,
 	})
 	res, err := sim.RunVolume(nil, sim.VolumeSpec{
 		Volume: v, Devices: devs, Scheds: scheds,
-		RebuildChunk: int(cfg.StripeUnit), RebuildFrac: frac,
+		RebuildChunk: int(cfg.StripeUnit), RebuildFrac: frac, RebuildPolicy: policy,
 	}, src, sim.Options{Warmup: p.Warmup, Injector: inj})
 	if err != nil {
 		panic(err)

@@ -90,6 +90,14 @@ type InjectorConfig struct {
 	// simulation clock passes them.
 	DeviceEvents []DeviceEvent
 
+	// Lifetime, when non-nil, draws additional whole-device failures
+	// from per-slot exponential lifetimes (seeded, deterministic; see
+	// LifetimeModel). The drawn schedule is merged with DeviceEvents at
+	// construction, so fixed kills and lifetime-drawn failures compose —
+	// including repeated failures of the same slot, which is how a
+	// second death mid-rebuild arises from a failure-rate model.
+	Lifetime *LifetimeModel
+
 	// Seed drives the injector's private random stream.
 	Seed int64
 }
@@ -142,6 +150,11 @@ func (c InjectorConfig) Validate() error {
 			return fmt.Errorf("fault: device event %d targets negative member slot %d", i, ev.Dev)
 		}
 	}
+	if c.Lifetime != nil {
+		if err := c.Lifetime.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -178,6 +191,12 @@ func NewInjector(cfg InjectorConfig) (*Injector, error) {
 		cfg:       cfg,
 		events:    append([]TipEvent(nil), cfg.Events...),
 		devEvents: append([]DeviceEvent(nil), cfg.DeviceEvents...),
+	}
+	if cfg.Lifetime != nil {
+		// Expand the lifetime model once, at construction: the drawn
+		// schedule is a pure function of the model, so Reset (which
+		// re-arms the fixed schedule) never has to re-draw it.
+		in.devEvents = append(in.devEvents, cfg.Lifetime.Schedule()...)
 	}
 	sort.SliceStable(in.events, func(i, j int) bool { return in.events[i].AtMs < in.events[j].AtMs })
 	sort.SliceStable(in.devEvents, func(i, j int) bool { return in.devEvents[i].AtMs < in.devEvents[j].AtMs })

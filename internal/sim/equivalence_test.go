@@ -289,13 +289,16 @@ func equivalenceScenarios(t *testing.T) []scenario {
 	)
 
 	// ── Redundant volumes (fork-join + failover + rebuild) ──────────
-	volume := func(level array.VolumeLevel, members, spares int, fail bool) scenario {
+	volume := func(level array.VolumeLevel, members, spares int, fail bool, policy sim.RebuildPolicy) scenario {
 		name := "volume_mirror"
 		if level == array.VolParity {
 			name = "volume_parity"
 		}
 		if fail {
 			name += "_fail"
+		}
+		if policy != nil {
+			name += "_" + policy.Name()
 		}
 		run := func(opts sim.Options) (sim.Result, error) {
 			cfg := array.VolumeConfig{
@@ -320,7 +323,7 @@ func equivalenceScenarios(t *testing.T) []scenario {
 			})
 			return sim.RunVolume(nil, sim.VolumeSpec{
 				Volume: v, Devices: devs, Scheds: scheds,
-				RebuildChunk: 2700, RebuildFrac: 0.5,
+				RebuildChunk: 2700, RebuildFrac: 0.5, RebuildPolicy: policy,
 			}, src, opts)
 		}
 		scn := scenario{name: name, run: run}
@@ -339,9 +342,13 @@ func equivalenceScenarios(t *testing.T) []scenario {
 		return scn
 	}
 	scns = append(scns,
-		volume(array.VolMirror, 2, 1, false),
-		volume(array.VolMirror, 2, 1, true),
-		volume(array.VolParity, 3, 1, true),
+		volume(array.VolMirror, 2, 1, false, nil),
+		volume(array.VolMirror, 2, 1, true, nil),
+		volume(array.VolParity, 3, 1, true, nil),
+		// Queue-aware pacing under the same failure: pins the adaptive
+		// policy's trajectory (pace changes shift chunk timing and the
+		// trace) without touching the fixed-policy goldens above.
+		volume(array.VolParity, 3, 1, true, sim.AdaptiveRebuild{}),
 	)
 
 	_ = warmup

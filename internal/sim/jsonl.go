@@ -33,6 +33,7 @@ type jsonlRecord struct {
 	Blocks    int          `json:"blocks"`
 	ArrivalMs float64      `json:"arrival_ms"`
 	Queue     int          `json:"queue,omitempty"`
+	Pace      float64      `json:"pace,omitempty"`
 	Phases    *jsonlPhases `json:"phases,omitempty"`
 	Complete  *jsonlDone   `json:"summary,omitempty"`
 }
@@ -73,6 +74,7 @@ func (p *JSONLProbe) Observe(ev ProbeEvent) {
 		Run:    ev.Run,
 		Dev:    ev.Dev,
 		Queue:  ev.Queue,
+		Pace:   ev.Pace,
 	}
 	// Volume lifecycle events (device-fail, rebuild-start/done) carry no
 	// request.

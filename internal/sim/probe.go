@@ -37,6 +37,11 @@ const (
 	// permanently backs the failed slot; Dev is the rebuilt member
 	// slot. Req is nil.
 	EventRebuildDone
+	// EventRebuildPace fires when the rebuild policy changes its pace
+	// mid-rebuild (never under the default fixed-fraction policy); Dev
+	// is the member slot being rebuilt, Queue the foreground queue depth
+	// the decision saw, and Pace the new duty cycle. Req is nil.
+	EventRebuildPace
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +65,8 @@ func (k EventKind) String() string {
 		return "rebuild-start"
 	case EventRebuildDone:
 		return "rebuild-done"
+	case EventRebuildPace:
+		return "rebuild-pace"
 	default:
 		return "unknown"
 	}
@@ -89,6 +96,9 @@ type ProbeEvent struct {
 	// Measured marks a complete event that lands in the measured window
 	// (past warmup, not failed).
 	Measured bool
+	// Pace is the rebuild duty cycle chosen by a pace-change event
+	// (EventRebuildPace); zero otherwise.
+	Pace float64
 }
 
 // Probe observes request-lifecycle events. A nil Probe is valid and

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClampPace(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0.7, 0.7},
+		{1, 1},
+		{1.5, 1},
+		{0, MinRebuildPace},
+		{-0.3, MinRebuildPace},
+		{math.NaN(), MinRebuildPace},
+		// Tiny-but-positive paces are legal, just slow.
+		{0.005, 0.005},
+	}
+	for _, tc := range cases {
+		if got := clampPace(tc.in); got != tc.want {
+			t.Errorf("clampPace(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFixedRebuildPace(t *testing.T) {
+	p := FixedRebuild{Frac: 0.3}
+	if p.Name() != "fixed" {
+		t.Errorf("name = %q", p.Name())
+	}
+	for _, q := range []int{0, 1, 7, 1000} {
+		if got := p.Pace(q); got != 0.3 {
+			t.Errorf("Pace(%d) = %g, want constant 0.3", q, got)
+		}
+	}
+}
+
+func TestAdaptiveRebuildPace(t *testing.T) {
+	// Zero value selects MaxFrac 1, MinFrac 0.1, Backoff 1.
+	var p AdaptiveRebuild
+	if p.Name() != "adaptive" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if got := p.Pace(0); got != 1 {
+		t.Errorf("idle pace = %g, want sprint at 1", got)
+	}
+	if got := p.Pace(1); got != 0.5 {
+		t.Errorf("Pace(1) = %g, want 0.5", got)
+	}
+	if got := p.Pace(1000); got != 0.1 {
+		t.Errorf("deep-queue pace = %g, want floor 0.1", got)
+	}
+	// Monotone non-increasing in queue depth.
+	prev := math.Inf(1)
+	for q := 0; q <= 64; q++ {
+		cur := p.Pace(q)
+		if cur > prev {
+			t.Fatalf("pace rose with load: Pace(%d)=%g > Pace(%d)=%g", q, cur, q-1, prev)
+		}
+		prev = cur
+	}
+
+	// Custom knobs.
+	c := AdaptiveRebuild{MaxFrac: 0.8, MinFrac: 0.2, Backoff: 0.5}
+	if got := c.Pace(0); got != 0.8 {
+		t.Errorf("custom idle pace = %g, want MaxFrac 0.8", got)
+	}
+	if got := c.Pace(2); got != 0.4 {
+		t.Errorf("custom Pace(2) = %g, want 0.8/(1+0.5·2) = 0.4", got)
+	}
+	if got := c.Pace(100); got != 0.2 {
+		t.Errorf("custom deep-queue pace = %g, want MinFrac 0.2", got)
+	}
+}

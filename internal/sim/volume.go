@@ -42,6 +42,11 @@ type VolumeSpec struct {
 	// rebuilder idles so rebuild I/O occupies roughly this fraction of
 	// its timeline (1, or 0 for the default, rebuilds flat out).
 	RebuildFrac float64
+	// RebuildPolicy, when non-nil, paces the rebuild dynamically and
+	// supersedes RebuildFrac; nil selects FixedRebuild{Frac: RebuildFrac}
+	// — the historical constant throttle, byte-identical by the golden
+	// equivalence suite.
+	RebuildPolicy RebuildPolicy
 }
 
 // VolumeStats aggregates a RunVolume run's redundancy and failover
@@ -73,6 +78,9 @@ type VolumeStats struct {
 	// SpareReads counts foreground reads satisfied from the rebuilt
 	// prefix of the hot spare mid-rebuild.
 	SpareReads int
+	// PaceChanges counts rebuild-pace changes the policy made mid-rebuild
+	// (0 under the default fixed-fraction policy, which never varies).
+	PaceChanges int
 	// LostRequests counts foreground requests that completed in error
 	// because their data was unreachable (lost volume or mid-flight
 	// second failure).
@@ -169,6 +177,11 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 	if frac < 0 || frac > 1 {
 		return Result{}, fmt.Errorf("sim: rebuild fraction %g out of (0,1]", spec.RebuildFrac)
 	}
+	policy := spec.RebuildPolicy
+	if policy == nil {
+		policy = FixedRebuild{Frac: frac}
+	}
+	policy.Reset()
 	if inj := opts.Injector; inj != nil {
 		for _, ev := range inj.DeviceEvents() {
 			if ev.Dev >= cfg.Members {
@@ -181,7 +194,7 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 	v.Reset()
 	e := newEngine(ctx, opts)
 	ms := newMemberSet(devs, scheds, e.p)
-	finish := e.runVolume(v, ms, src, chunk, frac)
+	finish := e.runVolume(v, ms, src, chunk, policy)
 	e.loop()
 	e.finalize()
 	finish()
@@ -193,7 +206,7 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 // member set. It returns a closure the adapter must call after the
 // event loop drains, closing the still-open degraded window and
 // publishing the volume aggregates.
-func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, chunk int, frac float64) func() {
+func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, chunk int, policy RebuildPolicy) func() {
 	var vstats VolumeStats
 	// opmap resolves a queued member request back to its volume intent;
 	// entries are deleted at dispatch (requeued ops re-register), and
@@ -203,6 +216,10 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 	// the active failure for MTTR accounting; -1 when closed.
 	degradedSince := -1.0
 	failStart := -1.0
+	// lastPace is the policy's previous duty-cycle decision; -1 marks the
+	// first decision of a rebuild, which establishes the baseline without
+	// emitting a pace-change event.
+	lastPace := -1.0
 
 	var (
 		dispatch   func(i int)
@@ -303,11 +320,26 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			}
 			return
 		}
-		// Throttle: idle after each chunk so rebuild I/O occupies ~frac
-		// of the rebuilder's timeline.
+		// Throttle: ask the policy for the next duty cycle and idle after
+		// the chunk so rebuild I/O occupies ~pace of the rebuilder's
+		// timeline. At this instant every rebuild member op has completed,
+		// so the summed queue depth is pure foreground backlog.
+		fg := 0
+		for i := range ms.scheds {
+			fg += ms.scheds[i].Len()
+		}
+		pace := clampPace(policy.Pace(fg))
+		if lastPace >= 0 && pace != lastPace {
+			vstats.PaceChanges++
+			if e.p != nil {
+				e.p.Observe(ProbeEvent{Kind: EventRebuildPace, Time: now, Dev: v.Failed(),
+					Queue: fg, Pace: pace})
+			}
+		}
+		lastPace = pace
 		gap := 0.0
-		if frac < 1 {
-			gap = (now - vr.chunkStart) * (1 - frac) / frac
+		if pace < 1 {
+			gap = (now - vr.chunkStart) * (1 - pace) / pace
 		}
 		e.q.Schedule(now+gap, func() { startChunk(e.q.Now()) })
 	}
@@ -488,6 +520,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		drainDead(deadDev, slot, now)
 		if first && !v.Lost() && v.BeginRebuild() {
 			vstats.RebuildsStarted++
+			lastPace = -1 // each rebuild re-baselines the pace
 			if e.p != nil {
 				e.p.Observe(ProbeEvent{Kind: EventRebuildStart, Time: now, Dev: slot})
 			}

@@ -393,6 +393,211 @@ func TestRunVolumeDoubleFailureSurfacesLoss(t *testing.T) {
 	}
 }
 
+func TestRunVolumeSecondFailureMidRebuild(t *testing.T) {
+	// A second member failure while the rebuild is still in flight — the
+	// vulnerability-window loss of the MTTDL model — must surface as
+	// DataLoss with failed reads of the lost sectors and sane MTTR and
+	// degraded accounting, never a panic or a phantom completed rebuild.
+	cases := []struct {
+		name      string
+		cfg       array.VolumeConfig
+		secondDev int
+	}{
+		{"mirror", mirrorVolCfg(), 1},
+		{"parity", parityVolCfg(), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := volFixtures(t, tc.cfg, 1)
+			spec.RebuildChunk = 8
+			rp := &recordingProbe{}
+			arr := make([]float64, 40)
+			lbns := make([]int64, 40)
+			for i := range arr {
+				arr[i] = float64(i)
+				lbns[i] = int64(i*5) % tc.cfg.Capacity()
+			}
+			src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+			// First failure at 5 ms starts the rebuild (8 chunks × ≥2 ms);
+			// the second at 12 ms lands well inside it.
+			res, err := RunVolume(nil, spec, src, Options{Probe: rp, Injector: devEvents(t,
+				fault.DeviceEvent{AtMs: 5, Dev: 0},
+				fault.DeviceEvent{AtMs: 12, Dev: tc.secondDev})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := res.Volume
+			if !res.DataLoss {
+				t.Fatal("second failure mid-rebuild did not surface DataLoss")
+			}
+			if vs.DeviceFailures != 2 {
+				t.Errorf("device failures = %d, want 2", vs.DeviceFailures)
+			}
+			if vs.RebuildsStarted != 1 || vs.RebuildsDone != 0 {
+				t.Errorf("rebuild started/done = %d/%d, want 1/0 (killed mid-flight)",
+					vs.RebuildsStarted, vs.RebuildsDone)
+			}
+			if vs.RebuildMs != 0 {
+				t.Errorf("MTTR %.3f ms credited for a rebuild that never finished", vs.RebuildMs)
+			}
+			if res.FailedRequests == 0 || vs.LostRequests == 0 || res.LostReads == 0 {
+				t.Errorf("lost service not reported: failed=%d lost=%d lostReads=%d",
+					res.FailedRequests, vs.LostRequests, res.LostReads)
+			}
+			// Every arrival completed one way or the other — graceful
+			// refusal, no silent drops.
+			if got := res.Requests + res.FailedRequests; got != 40 {
+				t.Errorf("completions+failures = %d, want 40", got)
+			}
+			// The degraded window opens at the first failure and stays open
+			// to the end of the run on a lost volume.
+			if vs.DegradedMs <= 0 || vs.DegradedMs > res.Elapsed {
+				t.Errorf("degraded window %.3f ms outside (0, %.3f]", vs.DegradedMs, res.Elapsed)
+			}
+			if rp.count(EventRebuildStart) != 1 || rp.count(EventRebuildDone) != 0 {
+				t.Errorf("lifecycle events: start=%d done=%d, want 1/0",
+					rp.count(EventRebuildStart), rp.count(EventRebuildDone))
+			}
+		})
+	}
+}
+
+func TestRunVolumeLifetimeDrawnFailures(t *testing.T) {
+	// Failures drawn from the exponential lifetime model — including
+	// repeated deaths after spares are spent — must be deterministic and
+	// degrade gracefully, never panic.
+	run := func() Result {
+		spec := volFixtures(t, mirrorVolCfg(), 1)
+		spec.RebuildChunk = 8
+		inj, err := fault.NewInjector(fault.InjectorConfig{
+			Lifetime: &fault.LifetimeModel{MTTFMs: 15, Slots: 2, HorizonMs: 60, Seed: 9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := make([]float64, 60)
+		lbns := make([]int64, 60)
+		for i := range arr {
+			arr[i] = float64(i)
+			lbns[i] = int64(i*3) % 64
+		}
+		src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+		res, err := RunVolume(nil, spec, src, Options{Injector: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("lifetime-drawn runs diverged")
+	}
+	// MTTF 15 ms over a 60 ms horizon draws ~4 failures per member slot:
+	// both members die long before any rebuild covers.
+	if a.Volume.DeviceFailures < 2 {
+		t.Fatalf("drew %d device failures, want ≥2", a.Volume.DeviceFailures)
+	}
+	if !a.DataLoss {
+		t.Error("both mirror members failed but no DataLoss")
+	}
+	if got := a.Requests + a.FailedRequests; got != 60 {
+		t.Errorf("completions+failures = %d, want 60", got)
+	}
+	if a.Volume.DegradedMs <= 0 || a.Volume.DegradedMs > a.Elapsed {
+		t.Errorf("degraded window %.3f ms outside (0, %.3f]", a.Volume.DegradedMs, a.Elapsed)
+	}
+}
+
+func TestRunVolumeAdaptivePaceChanges(t *testing.T) {
+	// Under a foreground burst the adaptive policy must actually change
+	// pace (backing off as the survivor queue grows, sprinting as it
+	// drains), emitting one EventRebuildPace per change; the default
+	// fixed policy must emit none.
+	run := func(policy RebuildPolicy) (Result, *recordingProbe) {
+		spec := volFixtures(t, mirrorVolCfg(), 1)
+		spec.RebuildChunk = 8
+		spec.RebuildPolicy = policy
+		rp := &recordingProbe{}
+		// 80 reads at 4/ms against a 1 ms/req survivor: the queue grows
+		// through the burst and drains after it ends at 20 ms.
+		arr := make([]float64, 80)
+		lbns := make([]int64, 80)
+		for i := range arr {
+			arr[i] = float64(i) * 0.25
+			lbns[i] = int64(i*5) % 64
+		}
+		src := workload.NewFromSlice(volReqs(arr, core.Read, lbns))
+		res, err := RunVolume(nil, spec, src,
+			Options{Probe: rp, Injector: devEvents(t, fault.DeviceEvent{AtMs: 4, Dev: 0})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rp
+	}
+
+	adaptive, arp := run(AdaptiveRebuild{})
+	if adaptive.Volume.RebuildsDone != 1 {
+		t.Fatalf("adaptive rebuild incomplete: %+v", adaptive.Volume)
+	}
+	if adaptive.Volume.PaceChanges == 0 {
+		t.Error("adaptive policy never changed pace under a varying queue")
+	}
+	if got := arp.count(EventRebuildPace); got != adaptive.Volume.PaceChanges {
+		t.Errorf("pace events = %d, PaceChanges = %d", got, adaptive.Volume.PaceChanges)
+	}
+	for _, ev := range arp.events {
+		if ev.Kind != EventRebuildPace {
+			continue
+		}
+		if ev.Req != nil {
+			t.Error("pace event carries a request")
+		}
+		if ev.Dev != 0 {
+			t.Errorf("pace event on slot %d, want failed slot 0", ev.Dev)
+		}
+		if !(ev.Pace > 0 && ev.Pace <= 1) {
+			t.Errorf("pace event outside (0,1]: %g", ev.Pace)
+		}
+		if ev.Queue < 0 {
+			t.Errorf("pace event queue = %d", ev.Queue)
+		}
+	}
+
+	fixed, frp := run(nil) // default FixedRebuild flat-out
+	if fixed.Volume.RebuildsDone != 1 {
+		t.Fatalf("fixed rebuild incomplete: %+v", fixed.Volume)
+	}
+	if fixed.Volume.PaceChanges != 0 || frp.count(EventRebuildPace) != 0 {
+		t.Errorf("fixed policy changed pace: changes=%d events=%d",
+			fixed.Volume.PaceChanges, frp.count(EventRebuildPace))
+	}
+}
+
+func TestRunVolumeAdaptiveSprintsWhenIdle(t *testing.T) {
+	// With no foreground pressure during the rebuild the adaptive policy
+	// holds pace 1 throughout: MTTR matches the flat-out fixed rebuild
+	// (16 ms, see TestRunVolumeThrottleStretchesRebuild) and no pace
+	// change fires.
+	spec := volFixtures(t, mirrorVolCfg(), 1)
+	spec.RebuildChunk = 8
+	spec.RebuildPolicy = AdaptiveRebuild{}
+	src := workload.NewFromSlice(volReqs([]float64{0, 1, 2}, core.Read, []int64{0, 8, 16}))
+	res, err := RunVolume(nil, spec, src,
+		Options{Injector: devEvents(t, fault.DeviceEvent{AtMs: 4, Dev: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Volume.RebuildsDone != 1 {
+		t.Fatalf("rebuild incomplete: %+v", res.Volume)
+	}
+	if res.Volume.RebuildMs != 16 {
+		t.Errorf("idle adaptive MTTR = %g ms, want flat-out 16", res.Volume.RebuildMs)
+	}
+	if res.Volume.PaceChanges != 0 {
+		t.Errorf("pace changed %d times with empty queues", res.Volume.PaceChanges)
+	}
+}
+
 func TestRunVolumeThrottleStretchesRebuild(t *testing.T) {
 	// The same failure rebuilt at 25% throttle must take longer than
 	// flat-out, and the rebuild tail must run past source exhaustion.

@@ -82,7 +82,7 @@ func TestFacadePower(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 24 {
+	if len(ids) != 25 {
 		t.Fatalf("experiment IDs: %v", ids)
 	}
 	tables, err := RunExperiment("table1", QuickExperimentParams())
@@ -287,5 +287,61 @@ func TestFacadeSimulateVolume(t *testing.T) {
 	}
 	if len(res.Members) != n {
 		t.Fatalf("member attribution for %d slots, want %d", len(res.Members), n)
+	}
+}
+
+func TestFacadeAvailability(t *testing.T) {
+	// The availability exports compose: an adaptive rebuild policy paces
+	// a volume whose failure is drawn from the lifetime model, and the
+	// Monte-Carlo primitive estimates MTTDL deterministically.
+	cfg := VolumeConfig{
+		Level: VolumeMirror, Members: 2, Spares: 1,
+		StripeUnit: 2700, PerMember: 2700 * 10,
+	}
+	v, err := NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Devices()
+	devs := make([]Device, n)
+	scheds := make([]Scheduler, n)
+	for i := range devs {
+		d, err := NewMEMSDevice(DefaultMEMSConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+		scheds[i], err = NewScheduler("SPTF")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj, err := NewFaultInjector(FaultInjectorConfig{
+		Lifetime: &DeviceLifetimeModel{MTTFMs: 400, Slots: cfg.Members, HorizonMs: 800, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRandomWorkload(500, 512, v.Capacity(), 400, 11)
+	var policy RebuildPolicy = AdaptiveRebuildPolicy{}
+	res, err := SimulateVolume(VolumeSpec{Volume: v, Devices: devs, Scheds: scheds, RebuildPolicy: policy},
+		src, SimOptions{Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests+res.FailedRequests != 400 {
+		t.Fatalf("completions %d + failures %d ≠ 400", res.Requests, res.FailedRequests)
+	}
+	if res.Volume == nil {
+		t.Fatal("no volume stats")
+	}
+
+	x, lost := TimeToDataLoss(NewLifetimeSampler(1e6, 3), cfg.Members, 1e3, 1<<22)
+	y, lost2 := TimeToDataLoss(NewLifetimeSampler(1e6, 3), cfg.Members, 1e3, 1<<22)
+	if x != y || lost != lost2 {
+		t.Errorf("MTTDL trial not deterministic: (%g,%v) vs (%g,%v)", x, lost, y, lost2)
+	}
+	if lost && x <= 0 {
+		t.Errorf("non-positive loss time %g", x)
 	}
 }
