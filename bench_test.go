@@ -6,6 +6,7 @@
 package memsim
 
 import (
+	"fmt"
 	"testing"
 
 	"memsim/internal/experiments"
@@ -144,6 +145,51 @@ func BenchmarkSPTFDispatchQueue64(b *testing.B) {
 		b.StopTimer()
 		refill()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkSchedNext measures one scheduling decision at queue depths
+// 8, 64 and 512 for every algorithm, on the MEMS device. The spread
+// between FCFS (O(1), no estimates) and the cost-model schedulers
+// (O(n) device estimates per dispatch) is the price of position-aware
+// scheduling; comparing SPTF against SettleAware/Priority isolates the
+// cost-model indirection's overhead.
+func BenchmarkSchedNext(b *testing.B) {
+	d, err := NewMEMSDevice(DefaultMEMSConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := NewRandomWorkload(1000, d.SectorSize(), d.Capacity(), 65536, 9)
+	var reqs []*Request
+	for r := src.Next(); r != nil; r = src.Next() {
+		reqs = append(reqs, r)
+	}
+	for _, name := range AllSchedulerNames() {
+		for _, depth := range []int{8, 64, 512} {
+			b.Run(fmt.Sprintf("%s/depth=%d", name, depth), func(b *testing.B) {
+				s, err := NewScheduler(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				i := 0
+				refill := func() {
+					for s.Len() < depth {
+						reqs[i%len(reqs)].Arrival = 0
+						s.Add(reqs[i%len(reqs)])
+						i++
+					}
+				}
+				refill()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					r := s.Next(d, 0)
+					d.Access(r, 0)
+					b.StopTimer()
+					refill()
+					b.StartTimer()
+				}
+			})
+		}
 	}
 }
 

@@ -21,6 +21,10 @@
 //	                              # Monte-Carlo MTTDL under the lifetime model
 //	memsbench -run rebuild -rebuild-policy adaptive
 //	                              # queue-aware rebuild pacing only
+//	memsbench -run schedcost -sched Priority
+//	                              # cost-model scheduler comparison, one extra policy
+//	memsbench -run rebuild -member-sched Priority
+//	                              # class-aware volume member queues during rebuild
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault, faultinject and power (DESIGN.md §2).
@@ -42,6 +46,7 @@ import (
 
 	"memsim/internal/experiments"
 	"memsim/internal/runner"
+	"memsim/internal/sched"
 	"memsim/internal/sim"
 )
 
@@ -64,6 +69,8 @@ func main() {
 		mttfHours = flag.Float64("mttf-hours", 0, "per-device exponential MTTF in hours for the mttdl experiment (0: default 1000, compressed scale)")
 		trials    = flag.Int("trials", 0, "override the Monte-Carlo trial count (mttdl and other multi-trial experiments; 0 keeps the preset)")
 		thinkMs   = flag.Float64("think-ms", 0, "mean exponential think time (ms) for closed-loop terminals (fig11); 0 keeps the paper's back-to-back regime")
+		schedName = flag.String("sched", "", "extra scheduling policy for the schedcost comparison (e.g. \"SettleAware\", \"Priority\"); empty keeps the standard pair")
+		mSched    = flag.String("member-sched", "", "scheduling policy for the rebuild experiment's volume member queues (default SPTF)")
 		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 	)
 	flag.Parse()
@@ -82,6 +89,7 @@ func main() {
 	if err := validateFlags(flagValues{
 		faultRate: *faultRate, rebuild: *rebuild, rebuildPolicy: *policy,
 		mttfHours: *mttfHours, trials: *trials, failDev: *failDev, thinkMs: *thinkMs,
+		sched: *schedName, memberSched: *mSched,
 	}); err != nil {
 		fatal(err)
 	}
@@ -93,6 +101,8 @@ func main() {
 	p.RebuildPolicy = *policy
 	p.MTTFHours = *mttfHours
 	p.ThinkMs = *thinkMs
+	p.Sched = *schedName
+	p.MemberSched = *mSched
 	p = p.WithRequests(*reqs)
 	// An explicit -trials wins over the preset and any -requests rescale.
 	if *trials > 0 {
@@ -182,6 +192,8 @@ type flagValues struct {
 	trials        int
 	failDev       int
 	thinkMs       float64
+	sched         string
+	memberSched   string
 }
 
 // validateFlags rejects out-of-range or nonsensical knob values.
@@ -208,6 +220,16 @@ func validateFlags(v flagValues) error {
 	}
 	if v.thinkMs < 0 {
 		return fmt.Errorf("-think-ms %g must be non-negative", v.thinkMs)
+	}
+	if v.sched != "" {
+		if _, err := sched.New(v.sched); err != nil {
+			return fmt.Errorf("-sched %q must be one of %s", v.sched, strings.Join(sched.AllNames(), ", "))
+		}
+	}
+	if v.memberSched != "" {
+		if _, err := sched.New(v.memberSched); err != nil {
+			return fmt.Errorf("-member-sched %q must be one of %s", v.memberSched, strings.Join(sched.AllNames(), ", "))
+		}
 	}
 	return nil
 }

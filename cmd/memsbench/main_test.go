@@ -13,7 +13,8 @@ func TestValidateFlags(t *testing.T) {
 		t.Fatalf("zero values rejected: %v", err)
 	}
 	good := flagValues{faultRate: 0.02, rebuild: 0.3, rebuildPolicy: "adaptive",
-		mttfHours: 2000, trials: 500, failDev: 1, thinkMs: 5}
+		mttfHours: 2000, trials: 500, failDev: 1, thinkMs: 5,
+		sched: "SettleAware", memberSched: "Priority"}
 	if err := validateFlags(good); err != nil {
 		t.Fatalf("valid values rejected: %v", err)
 	}
@@ -34,6 +35,8 @@ func TestValidateFlags(t *testing.T) {
 		{"negative trials", func(v *flagValues) { v.trials = -5 }, "-trials"},
 		{"negative fail dev", func(v *flagValues) { v.failDev = -1 }, "-fail-dev"},
 		{"negative think", func(v *flagValues) { v.thinkMs = -1 }, "-think-ms"},
+		{"unknown sched", func(v *flagValues) { v.sched = "EDF" }, "-sched"},
+		{"unknown member sched", func(v *flagValues) { v.memberSched = "EDF" }, "-member-sched"},
 	}
 	for _, tc := range cases {
 		v := good

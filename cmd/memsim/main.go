@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		device    = flag.String("device", "mems", "device model: mems | disk")
-		schedName = flag.String("sched", "SPTF", "scheduler: FCFS | SSTF_LBN | C-LOOK | SPTF")
+		schedName = flag.String("sched", "SPTF", "scheduler: FCFS | SSTF_LBN | C-LOOK | SPTF | SettleAware | Priority")
 		rate      = flag.Float64("rate", 1000, "arrival rate for the random workload (req/s)")
 		requests  = flag.Int("requests", 20000, "number of requests")
 		warmup    = flag.Int("warmup", 1000, "completions excluded from statistics")

@@ -44,7 +44,7 @@ func main() {
 		statsF   = flag.String("stats", "", "summarize an existing trace file")
 		replayF  = flag.String("replay", "", "replay an existing trace file through the simulator")
 		device   = flag.String("device", "mems", "replay device: mems | disk")
-		schedN   = flag.String("sched", "FCFS", "replay scheduler: "+strings.Join(sched.Names(), " | "))
+		schedN   = flag.String("sched", "FCFS", "replay scheduler: "+strings.Join(sched.AllNames(), " | "))
 		warmup   = flag.Int("warmup", 0, "replay completions to discard before measuring")
 	)
 	flag.Parse()
@@ -110,7 +110,7 @@ func replay(path, device, schedName string, scale float64, warmup int, outPath s
 	}
 	s, err := sched.New(schedName)
 	if err != nil {
-		return fmt.Errorf("%w (want one of %s)", err, strings.Join(sched.Names(), ", "))
+		return fmt.Errorf("%w (want one of %s)", err, strings.Join(sched.AllNames(), ", "))
 	}
 	tr, err := readTrace(path)
 	if err != nil {

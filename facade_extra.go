@@ -6,6 +6,7 @@ import (
 	"memsim/internal/array"
 	"memsim/internal/bus"
 	"memsim/internal/cache"
+	"memsim/internal/core"
 	"memsim/internal/fault"
 	"memsim/internal/layout"
 	"memsim/internal/mems"
@@ -199,6 +200,62 @@ func MEMSConfigGen2() MEMSConfig { return mems.ConfigGen2() }
 
 // MEMSConfigGen3 is the third-generation extrapolation.
 func MEMSConfigGen3() MEMSConfig { return mems.ConfigGen3() }
+
+// ─── Cost-model scheduling framework ────────────────────────────────────
+
+// RequestClass tags a request's role for class-aware scheduling:
+// foreground, degraded-read, or rebuild.
+type RequestClass = core.Class
+
+// The request classes.
+const (
+	ClassForeground   = core.ClassForeground
+	ClassDegradedRead = core.ClassDegradedRead
+	ClassRebuild      = core.ClassRebuild
+)
+
+// CostModel scores a candidate request for dispatch (lower is better);
+// cost-model schedulers take one instead of hard-wiring the device's
+// service estimate.
+type CostModel = core.CostModel
+
+// AccessCost is the classic SPTF scoring function: the device's full
+// estimated service time.
+func AccessCost(d Device, r *Request, now float64) float64 { return core.AccessCost(d, r, now) }
+
+// SettleAwareCost scores by estimated service minus the unschedulable
+// settle phase, so ties break on avoidable seek work.
+func SettleAwareCost(d Device, r *Request, now float64) float64 {
+	return core.SettleAwareCost(d, r, now)
+}
+
+// EstimateBreakdown returns the estimated per-phase decomposition of
+// serving r on d at time now without changing device state; devices
+// that cannot decompose report a bare ServiceMs.
+func EstimateBreakdown(d Device, r *Request, now float64) Breakdown {
+	return core.EstimateBreakdown(d, r, now)
+}
+
+// NewSettleAwareScheduler returns the settle-aware SPTF variant.
+func NewSettleAwareScheduler() Scheduler { return sched.NewSettleAware() }
+
+// NewPriorityScheduler returns the class-band scheduler (degraded-read
+// > foreground > rebuild, SPTF within a band) with the default
+// age-promotion starvation bound.
+func NewPriorityScheduler() Scheduler { return sched.NewPriority() }
+
+// NewPrioritySchedulerWith returns a Priority scheduler over an
+// arbitrary cost model and promotion threshold in ms (≤ 0 disables
+// promotion).
+func NewPrioritySchedulerWith(cost CostModel, promoteMs float64) Scheduler {
+	return sched.NewPriorityWith(cost, promoteMs)
+}
+
+// NewCostScheduler returns an SPTF-style queue over an arbitrary cost
+// model, reported under the given name.
+func NewCostScheduler(name string, cost CostModel) Scheduler {
+	return sched.NewCostSPTF(name, cost)
+}
 
 // ─── Redundant volumes and failover (device-level §6.2, dynamic) ────────
 

@@ -41,6 +41,10 @@ type Request struct {
 	LBN int64
 	// Blocks is the number of consecutive logical blocks addressed.
 	Blocks int
+	// Class tags the request's role (foreground, degraded-read, rebuild)
+	// for class-aware scheduling and per-class accounting. The zero value
+	// is ClassForeground, so untagged requests behave exactly as before.
+	Class Class
 
 	// Start is the time service began (set by the simulator).
 	Start float64

@@ -66,6 +66,14 @@ func (m *ManagedDevice) EstimateAccess(req *Request, now float64) float64 {
 	return m.inner.EstimateAccess(m.remap(req), now)
 }
 
+// EstimateBreakdown implements BreakdownEstimator by remapping the
+// request and delegating, mirroring EstimateAccess. When the inner
+// device cannot decompose, the scalar-fallback convention of the
+// package-level EstimateBreakdown applies.
+func (m *ManagedDevice) EstimateBreakdown(req *Request, now float64) Breakdown {
+	return EstimateBreakdown(m.inner, m.remap(req), now)
+}
+
 // LastBreakdown implements BreakdownReporter by delegation: remapping
 // changes where a request lands, not how its service decomposes.
 func (m *ManagedDevice) LastBreakdown() (Breakdown, bool) {

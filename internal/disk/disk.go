@@ -289,6 +289,12 @@ func (d *Device) Detail(req *core.Request, now float64) core.Breakdown {
 	return bd
 }
 
+// EstimateBreakdown implements core.BreakdownEstimator.
+func (d *Device) EstimateBreakdown(req *core.Request, now float64) core.Breakdown {
+	bd, _, _ := d.access(req, now)
+	return bd
+}
+
 // access walks the request's track segments and returns the phase
 // breakdown plus the final head position. The completion time `t`
 // accumulates in the model's historical operation order (rotational

@@ -60,6 +60,15 @@ type Params struct {
 	// MTTDL scales as MTTF², so ratios between device types are
 	// unaffected.
 	MTTFHours float64
+	// Sched, when non-empty, appends one more scheduling policy to the
+	// schedcost experiment's single-device comparison (cmd/memsbench
+	// -sched); any name sched.New accepts is valid. Empty keeps the
+	// standard SPTF-vs-SettleAware pair.
+	Sched string
+	// MemberSched names the scheduling policy for the rebuild
+	// experiment's volume member queues (cmd/memsbench -member-sched);
+	// empty keeps SPTF, the historical default.
+	MemberSched string
 	// ThinkMs, when positive, gives the closed-loop layout experiment's
 	// terminals exponential think time with this mean in milliseconds
 	// (cmd/memsbench -think-ms), turning the back-to-back §5.3 regime

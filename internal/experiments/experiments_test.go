@@ -27,7 +27,7 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"aging", "bus", "cache", "fault", "faultinject", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "generations", "mttdl", "phases", "power", "raid", "rebuild", "remap", "seekprofile", "shuffle", "startup", "striping", "table1", "table2"}
+	want := []string{"aging", "bus", "cache", "fault", "faultinject", "fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "generations", "mttdl", "phases", "power", "raid", "rebuild", "remap", "schedcost", "seekprofile", "shuffle", "startup", "striping", "table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v, want %v", ids, want)
 	}

@@ -460,3 +460,95 @@ func TestMTTDLShape(t *testing.T) {
 		t.Error("mttdl output not deterministic")
 	}
 }
+
+func TestSchedCostShape(t *testing.T) {
+	ts := SchedCost(tiny())
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2", len(ts))
+	}
+	a := ts[0]
+	// Two devices × the standard SPTF/SettleAware pair.
+	if len(a.Rows) != 4 {
+		t.Fatalf("comparison rows = %d, want 4", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		mean, p95, p99 := cell(t, row[2]), cell(t, row[3]), cell(t, row[4])
+		if mean <= 0 || p95 < mean || p99 < p95 {
+			t.Errorf("%s/%s: mean %g / p95 %g / p99 %g not ordered", row[0], row[1], mean, p95, p99)
+		}
+		if cell(t, row[5]) <= 0 || cell(t, row[6]) <= 0 {
+			t.Errorf("%s/%s: empty phase breakdown: %v", row[0], row[1], row)
+		}
+	}
+
+	// The acceptance claim: class-aware Priority member queues bound the
+	// degraded-read tail below raw SPTF on at least one rebuild
+	// operating point.
+	b := ts[1]
+	if len(b.Rows) != 2 {
+		t.Fatalf("degraded rows = %d, want 2", len(b.Rows))
+	}
+	better := false
+	for _, row := range b.Rows {
+		sptf, prio := cell(t, row[1]), cell(t, row[2])
+		if sptf <= 0 || prio <= 0 {
+			t.Fatalf("throttle %s: empty degraded-read tail: %v", row[0], row)
+		}
+		if cell(t, row[5]) <= 0 {
+			t.Fatalf("throttle %s: no degraded reads measured", row[0])
+		}
+		if prio < sptf {
+			better = true
+		}
+	}
+	if !better {
+		t.Errorf("Priority never beat SPTF degraded-read p99: %v", b.Rows)
+	}
+
+	// Same seed, same bytes: the artifact is deterministic.
+	var x, y bytes.Buffer
+	for _, tb := range SchedCost(tiny()) {
+		tb.CSV(&x)
+	}
+	for _, tb := range SchedCost(tiny()) {
+		tb.CSV(&y)
+	}
+	if x.String() != y.String() {
+		t.Error("schedcost output not deterministic")
+	}
+}
+
+func TestSchedCostExtraSched(t *testing.T) {
+	p := tiny()
+	p.Sched = "Priority"
+	ts := SchedCost(p)
+	// Two devices × (standard pair + the -sched extra).
+	if len(ts[0].Rows) != 6 {
+		t.Fatalf("rows with extra policy = %d, want 6", len(ts[0].Rows))
+	}
+	// Naming an already-present policy must not duplicate it.
+	p.Sched = "SettleAware"
+	if ts := SchedCost(p); len(ts[0].Rows) != 4 {
+		t.Fatalf("rows with duplicate policy = %d, want 4", len(ts[0].Rows))
+	}
+}
+
+func TestRebuildMemberSched(t *testing.T) {
+	// The rebuild experiment honors Params.MemberSched: swapping the
+	// member queues to Priority still completes every rebuild and loses
+	// nothing.
+	p := tiny()
+	p.MemberSched = "Priority"
+	p.RebuildPolicy = "adaptive"
+	ts := Rebuild(p)
+	sweep := ts[0]
+	if len(sweep.Rows) != 1 {
+		t.Fatalf("adaptive-only rows = %d, want 1", len(sweep.Rows))
+	}
+	if mttr := cell(t, sweep.Rows[0][1]); mttr <= 0 {
+		t.Errorf("MEMS MTTR = %g s under Priority member queues", mttr)
+	}
+	if sweep.Rows[0][5] != "0" {
+		t.Errorf("lost requests = %s under Priority member queues", sweep.Rows[0][5])
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"memsim/internal/fault"
 	"memsim/internal/mems"
 	"memsim/internal/runner"
-	"memsim/internal/sched"
 	"memsim/internal/sim"
 	"memsim/internal/workload"
 )
@@ -215,7 +214,7 @@ func rebuildRun(job *runner.Job, cfg array.VolumeConfig, mk core.DeviceFactory,
 	scheds := make([]core.Scheduler, n)
 	for i := range devs {
 		devs[i] = mk()
-		scheds[i] = sched.NewSPTF()
+		scheds[i] = memberSched(p)
 	}
 	// Kill the chosen member a quarter of the way through the arrival
 	// stream, so the run measures healthy service on both sides of a

@@ -99,6 +99,13 @@ func (d *Device) Detail(req *core.Request) core.Breakdown {
 	return bd
 }
 
+// EstimateBreakdown implements core.BreakdownEstimator. Like Access, it
+// ignores absolute time: the sled has no free-running rotation.
+func (d *Device) EstimateBreakdown(req *core.Request, _ float64) core.Breakdown {
+	bd, _ := d.access(d.st, req)
+	return bd
+}
+
 // access computes the service of req from state st. Requests are split
 // into track spans ("segments"); each segment is swept in whichever Y
 // direction positions faster — tips access the media in the ±Y direction

@@ -229,6 +229,21 @@ func (m *Managed) EstimateAccess(req *core.Request, now float64) float64 {
 	return penalty + m.inner.EstimateAccess(req, now+penalty)
 }
 
+// EstimateBreakdown implements core.BreakdownEstimator: the wrapped
+// device's estimated decomposition at the restart-shifted start time,
+// with any restart penalty charged to Overhead — the same convention as
+// LastBreakdown — so ServiceMs equals what EstimateAccess returns.
+func (m *Managed) EstimateBreakdown(req *core.Request, now float64) core.Breakdown {
+	penalty := 0.0
+	if gap := now - m.lastBusyEnd; gap > m.policy.TimeoutMs {
+		penalty = m.model.RestartMs
+	}
+	bd := core.EstimateBreakdown(m.inner, req, now+penalty)
+	bd.Overhead += penalty
+	bd.ServiceMs += penalty
+	return bd
+}
+
 // Report returns the accounting up to the last access.
 func (m *Managed) Report() Report { return m.rep }
 

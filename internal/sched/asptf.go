@@ -21,7 +21,10 @@ type ASPTF struct {
 	// Weight is the aging coefficient: ms of positioning time forgiven
 	// per ms of queue wait. 0 is pure SPTF; large values approach FCFS.
 	weight float64
-	q      []*core.Request
+	// cost scores the positioning term before aging; core.AccessCost
+	// unless overridden, so aging composes with any base cost model.
+	cost core.CostModel
+	q    []*core.Request
 }
 
 var _ core.Scheduler = (*ASPTF)(nil)
@@ -32,7 +35,7 @@ func NewASPTF(weight float64) *ASPTF {
 	if weight < 0 {
 		panic(fmt.Sprintf("sched: negative ASPTF weight %g", weight))
 	}
-	return &ASPTF{weight: weight}
+	return &ASPTF{weight: weight, cost: core.AccessCost}
 }
 
 // Name implements core.Scheduler.
@@ -54,7 +57,7 @@ func (s *ASPTF) Next(d core.Device, now float64) *core.Request {
 	}
 	best, bestT := 0, 0.0
 	for i, r := range s.q {
-		t := d.EstimateAccess(r, now) - s.weight*(now-r.Arrival)
+		t := s.cost(d, r, now) - s.weight*(now-r.Arrival)
 		if i == 0 || t < bestT {
 			best, bestT = i, t
 		}

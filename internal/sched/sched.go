@@ -18,8 +18,9 @@ import (
 	"memsim/internal/core"
 )
 
-// New constructs a scheduler by algorithm name: "FCFS", "SSTF_LBN",
-// "C-LOOK", or "SPTF". It returns an error for unknown names.
+// New constructs a scheduler by algorithm name: one of the paper's four
+// ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF") or a cost-model extension
+// ("SettleAware", "Priority"). It returns an error for unknown names.
 func New(name string) (core.Scheduler, error) {
 	switch name {
 	case "FCFS":
@@ -30,13 +31,23 @@ func New(name string) (core.Scheduler, error) {
 		return NewCLOOK(), nil
 	case "SPTF":
 		return NewSPTF(), nil
+	case "SettleAware":
+		return NewSettleAware(), nil
+	case "Priority":
+		return NewPriority(), nil
 	default:
 		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
 	}
 }
 
-// Names lists the algorithms in the paper's presentation order.
+// Names lists the paper's four algorithms in its presentation order.
+// Artifact sweeps iterate this list, so it deliberately excludes the
+// extensions; see AllNames.
 func Names() []string { return []string{"FCFS", "SSTF_LBN", "C-LOOK", "SPTF"} }
+
+// AllNames lists every name New accepts: the paper's four plus the
+// cost-model extensions.
+func AllNames() []string { return append(Names(), "SettleAware", "Priority") }
 
 // FCFS services requests strictly in arrival order. It is the reference
 // point that saturates first in Figs. 5 and 6.
@@ -195,21 +206,50 @@ func (c *CLOOK) Next(core.Device, float64) *core.Request {
 	return r
 }
 
-// SPTF services the pending request with the smallest predicted
-// positioning (service) time, asking the device model for an exact
-// estimate from its current mechanical state (Seltzer et al.; Jacobson &
-// Wilkes). For disks this accounts for rotational position; for
-// MEMS-based storage it accounts for the parallel X/Y seeks, spring
-// forces, and settling time.
+// SPTF services the pending request with the smallest predicted cost
+// under an injectable core.CostModel. The default model is the device's
+// own service-time estimate from its current mechanical state — classic
+// shortest-positioning-time-first (Seltzer et al.; Jacobson & Wilkes):
+// for disks this accounts for rotational position; for MEMS-based
+// storage it accounts for the parallel X/Y seeks, spring forces, and
+// settling time. Variants plug in a different scoring function rather
+// than a new queue type (see NewSettleAware).
+//
+// Ties break on queue position: among equal-cost candidates the
+// earliest-scanned wins (strict-less comparison), and the internal scan
+// order is arrival order permuted by swap-removal. Determinism tests
+// pin this.
 type SPTF struct {
-	q []*core.Request
+	q    []*core.Request
+	cost core.CostModel
+	name string
 }
 
-// NewSPTF returns an empty SPTF queue.
-func NewSPTF() *SPTF { return &SPTF{} }
+// NewSPTF returns an empty SPTF queue scoring by full estimated service
+// time (core.AccessCost).
+func NewSPTF() *SPTF { return &SPTF{cost: core.AccessCost, name: "SPTF"} }
+
+// NewSettleAware returns an SPTF queue scoring by core.SettleAwareCost:
+// the estimate minus its settle phase. Settle is the unschedulable
+// floor of MEMS positioning — every access pays it wherever the sled
+// starts — so discounting it ranks candidates by the seek work the
+// scheduler can actually avoid. On devices that cannot estimate a
+// breakdown it behaves exactly like SPTF.
+func NewSettleAware() *SPTF {
+	return &SPTF{cost: core.SettleAwareCost, name: "SettleAware"}
+}
+
+// NewCostSPTF returns an SPTF queue over an arbitrary cost model,
+// reported under the given name. It panics on a nil model.
+func NewCostSPTF(name string, cost core.CostModel) *SPTF {
+	if cost == nil {
+		panic("sched: nil cost model")
+	}
+	return &SPTF{cost: cost, name: name}
+}
 
 // Name implements core.Scheduler.
-func (s *SPTF) Name() string { return "SPTF" }
+func (s *SPTF) Name() string { return s.name }
 
 // Add implements core.Scheduler.
 func (s *SPTF) Add(r *core.Request) { s.q = append(s.q, r) }
@@ -227,7 +267,7 @@ func (s *SPTF) Next(d core.Device, now float64) *core.Request {
 	}
 	best, bestT := 0, 0.0
 	for i, r := range s.q {
-		t := d.EstimateAccess(r, now)
+		t := s.cost(d, r, now)
 		if i == 0 || t < bestT {
 			best, bestT = i, t
 		}
@@ -239,13 +279,23 @@ func (s *SPTF) Next(d core.Device, now float64) *core.Request {
 	return r
 }
 
-// Drain removes and returns all pending requests in LBN order; tests use
-// it to inspect queue contents.
+// Drain removes and returns all pending requests in dispatch order —
+// the order the scheduler would actually service them, which is what
+// determinism tests need to observe. Callers that only care about
+// queue contents regardless of policy should use DrainSorted.
 func Drain(s core.Scheduler, d core.Device, now float64) []*core.Request {
 	var out []*core.Request
 	for s.Len() > 0 {
 		out = append(out, s.Next(d, now))
 	}
+	return out
+}
+
+// DrainSorted removes all pending requests and returns them in
+// ascending LBN order, independent of scheduling policy; tests use it
+// to inspect queue contents.
+func DrainSorted(s core.Scheduler, d core.Device, now float64) []*core.Request {
+	out := Drain(s, d, now)
 	sort.Slice(out, func(i, j int) bool { return out[i].LBN < out[j].LBN })
 	return out
 }

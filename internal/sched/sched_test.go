@@ -15,7 +15,7 @@ func req(lbn int64) *core.Request {
 }
 
 func TestNewByName(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range AllNames() {
 		s, err := New(name)
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
@@ -77,7 +77,7 @@ func TestFCFSRequeueGoesToFront(t *testing.T) {
 }
 
 func TestFCFSEmpty(t *testing.T) {
-	for _, s := range []core.Scheduler{NewFCFS(), NewSSTF(), NewCLOOK(), NewSPTF()} {
+	for _, s := range []core.Scheduler{NewFCFS(), NewSSTF(), NewCLOOK(), NewSPTF(), NewSettleAware(), NewPriority()} {
 		if r := s.Next(nil, 0); r != nil {
 			t.Errorf("%s: Next on empty queue = %v, want nil", s.Name(), r)
 		}
@@ -211,6 +211,9 @@ func TestAllSchedulersConserveRequests(t *testing.T) {
 		func() core.Scheduler { return NewSSTF() },
 		func() core.Scheduler { return NewCLOOK() },
 		func() core.Scheduler { return NewSPTF() },
+		func() core.Scheduler { return NewSettleAware() },
+		func() core.Scheduler { return NewPriority() },
+		func() core.Scheduler { return NewASPTF(0.01) },
 	}
 	rng := rand.New(rand.NewSource(2))
 	for _, make := range mk {
@@ -247,7 +250,7 @@ func TestAllSchedulersConserveRequests(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	for _, s := range []core.Scheduler{NewFCFS(), NewSSTF(), NewCLOOK(), NewSPTF()} {
+	for _, s := range []core.Scheduler{NewFCFS(), NewSSTF(), NewCLOOK(), NewSPTF(), NewSettleAware(), NewPriority()} {
 		s.Add(req(1))
 		s.Add(req(2))
 		s.Reset()
@@ -260,15 +263,36 @@ func TestReset(t *testing.T) {
 	}
 }
 
-func TestDrainSorts(t *testing.T) {
+func TestDrainReturnsDispatchOrder(t *testing.T) {
+	// Drain must expose the order the scheduler would actually service,
+	// not hide it behind an LBN sort (that is DrainSorted's job).
 	s := NewFCFS()
 	for _, lbn := range []int64{9, 1, 5} {
 		s.Add(req(lbn))
 	}
 	out := Drain(s, nil, 0)
-	if len(out) != 3 || out[0].LBN != 1 || out[1].LBN != 5 || out[2].LBN != 9 {
-		t.Errorf("Drain = %v", out)
+	if len(out) != 3 || out[0].LBN != 9 || out[1].LBN != 1 || out[2].LBN != 5 {
+		t.Errorf("Drain = %v, want FCFS dispatch order 9,1,5", lbns(out))
 	}
+}
+
+func TestDrainSorted(t *testing.T) {
+	s := NewFCFS()
+	for _, lbn := range []int64{9, 1, 5} {
+		s.Add(req(lbn))
+	}
+	out := DrainSorted(s, nil, 0)
+	if len(out) != 3 || out[0].LBN != 1 || out[1].LBN != 5 || out[2].LBN != 9 {
+		t.Errorf("DrainSorted = %v", lbns(out))
+	}
+}
+
+func lbns(rs []*core.Request) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.LBN
+	}
+	return out
 }
 
 func TestSSTFReducesSeekVsFCFS(t *testing.T) {

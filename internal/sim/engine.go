@@ -266,7 +266,7 @@ func (e *engine) runOpen(d core.Device, s core.Scheduler, src workload.Source) {
 			r.Start = now
 		}
 		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen})
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen, Class: r.Class})
 		}
 		svc, _, again := e.serveVisit(d, r, r, 0, now)
 		e.res.Busy += svc
@@ -314,7 +314,7 @@ func (e *engine) runClosed(d core.Device, src workload.Source) {
 			// Closed regime: arrival and dispatch coincide; the "queue"
 			// is the request itself.
 			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1})
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1, Class: r.Class})
 		}
 		t := now
 		total := 0.0

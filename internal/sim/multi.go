@@ -75,7 +75,7 @@ func (e *engine) runMulti(ms *memberSet, route Router, src workload.Source) {
 			r.Start = now
 		}
 		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen})
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen, Class: r.Class})
 		}
 		svc, _, again := e.serveVisit(ms.devs[i], r, r, i, now)
 		done := now + svc
@@ -94,7 +94,7 @@ func (e *engine) runMulti(ms *memberSet, route Router, src workload.Source) {
 				e.complete(done, r, i, qlen, r.ResponseTime(), r.ServiceTime(), true, func(measured bool) {
 					ms.members[i].Requests++
 					if ms.phases != nil && measured {
-						ms.phases[i].add(r.Phases)
+						ms.phases[i].add(r.Phases, r.Class)
 					}
 				})
 			}

@@ -87,6 +87,11 @@ type ProbeEvent struct {
 	// Queue is the pending-queue length including this request, valid
 	// for arrive and dispatch events.
 	Queue int
+	// Class is the request's scheduling class, stamped on dispatch
+	// events (member ops under RunVolume carry the class the volume
+	// tagged them with); zero (foreground) elsewhere. In-memory only:
+	// the JSONL trace format does not serialize it.
+	Class core.Class
 	// Req is the request the event concerns.
 	Req *core.Request
 	// Breakdown carries the visit's phase decomposition for service
@@ -205,10 +210,18 @@ type PhaseStats struct {
 	Unattributed stats.Dist
 	// Requests counts the measured completions folded in.
 	Requests int
+	// ClassService splits the Service distribution by request class
+	// (foreground / degraded-read / rebuild), so class-aware scheduling
+	// policies are measurable per class; ClassRequests counts the
+	// observations per class.
+	ClassService [core.NumClasses]stats.Dist
+	// ClassRequests counts the observations folded into each class.
+	ClassRequests [core.NumClasses]int
 }
 
-// add folds one completed request's accumulated breakdown in.
-func (s *PhaseStats) add(bd core.Breakdown) {
+// add folds one completed request's accumulated breakdown in under its
+// scheduling class.
+func (s *PhaseStats) add(bd core.Breakdown, class core.Class) {
 	s.Seek.Add(bd.Seek)
 	s.Settle.Add(bd.Settle)
 	s.Turnaround.Add(bd.Turnaround)
@@ -219,6 +232,10 @@ func (s *PhaseStats) add(bd core.Breakdown) {
 	s.Service.Add(bd.ServiceMs)
 	s.Unattributed.Add(bd.Unattributed())
 	s.Requests++
+	if int(class) < core.NumClasses {
+		s.ClassService[class].Add(bd.ServiceMs)
+		s.ClassRequests[class]++
+	}
 }
 
 // PhaseCollector is a Probe that aggregates PhaseStats over a run's
@@ -236,7 +253,7 @@ func (c *PhaseCollector) Observe(ev ProbeEvent) {
 	if ev.Kind != EventComplete || !ev.Measured {
 		return
 	}
-	c.ps.add(ev.Req.Phases)
+	c.ps.add(ev.Req.Phases, ev.Req.Class)
 }
 
 // ResetProbe implements ProbeResetter.

@@ -90,6 +90,14 @@ type VolumeStats struct {
 	// foreground penalty of degraded mode and rebuild interference is
 	// directly readable (p95 included).
 	Healthy, Degraded stats.Dist
+	// ClassResponse splits response times by scheduling class:
+	// measured foreground completions land in their class's slot
+	// (foreground or degraded-read), and completed rebuild chunks
+	// record their start→finish duration under ClassRebuild (whole
+	// run — rebuilds are background work outside the warmup gate).
+	// This is what makes a class-aware member scheduler's degraded-read
+	// latency bound directly measurable.
+	ClassResponse [core.NumClasses]stats.Dist
 }
 
 // volReq tracks one in-flight volume-level intent — a foreground
@@ -227,9 +235,25 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		startChunk func(now float64)
 	)
 
+	// memberClass tags a member op with its parent intent's scheduling
+	// class at enqueue time, after any degraded-mode re-resolution, so
+	// class-aware member schedulers see rebuild chunks and degraded
+	// reconstruction reads for what they are.
+	memberClass := func(vr *volReq) core.Class {
+		switch {
+		case vr.rebuild:
+			return core.ClassRebuild
+		case vr.degradedRead:
+			return core.ClassDegradedRead
+		default:
+			return core.ClassForeground
+		}
+	}
+
 	enqueue := func(vr *volReq, op array.MemberOp, now float64) {
 		dev := v.DeviceOf(op.Slot)
-		mr := &core.Request{Arrival: vr.r.Arrival, Op: op.Op, LBN: op.LBN, Blocks: op.Blocks}
+		mr := &core.Request{Arrival: vr.r.Arrival, Op: op.Op, LBN: op.LBN, Blocks: op.Blocks,
+			Class: memberClass(vr)}
 		opmap[mr] = vr
 		ms.scheds[dev].Add(mr)
 		if e.p != nil {
@@ -264,6 +288,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		r := vr.r
 		r.Finish = now
 		r.Degraded = vr.degradedRead
+		r.Class = memberClass(vr)
 		e.complete(now, r, 0, vr.qlen, r.ResponseTime(), r.ServiceTime(), false, func(measured bool) {
 			// The volume keeps its own fault tallies (classify would
 			// double-count): a failed foreground request is a lost
@@ -291,6 +316,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 				} else {
 					vstats.Healthy.Add(r.ResponseTime())
 				}
+				vstats.ClassResponse[r.Class].Add(r.ResponseTime())
 			}
 		})
 	}
@@ -307,6 +333,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			return
 		}
 		vstats.RebuildChunks++
+		vstats.ClassResponse[core.ClassRebuild].Add(now - vr.chunkStart)
 		v.Advance(vr.chunkBlocks)
 		if v.RebuildDone() {
 			slot := v.Failed()
@@ -406,7 +433,8 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			vr.qlen = qlen
 		}
 		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: mr, Queue: qlen})
+			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: mr, Queue: qlen,
+				Class: mr.Class})
 		}
 		// The shared visit path accumulates the member op's phase
 		// breakdown into the parent volume request and applies fault
@@ -420,7 +448,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			vstats.RebuildBusy += svc
 		}
 		if ms.phases != nil {
-			ms.phases[i].add(bd)
+			ms.phases[i].add(bd, mr.Class)
 		}
 		e.q.Schedule(now+svc, func() {
 			ms.busy[i] = false
@@ -455,7 +483,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			return
 		}
 		vr := &volReq{
-			r:           &core.Request{Arrival: now, Op: core.Read, LBN: -1, Blocks: blocks},
+			r:           &core.Request{Arrival: now, Op: core.Read, LBN: -1, Blocks: blocks, Class: core.ClassRebuild},
 			phases:      plan.Phases,
 			epoch:       v.Epoch(),
 			rebuild:     true,

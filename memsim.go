@@ -102,11 +102,16 @@ func NewDiskDevice(cfg DiskConfig) (*DiskDevice, error) { return disk.NewDevice(
 // ─── Scheduling ─────────────────────────────────────────────────────────
 
 // NewScheduler constructs a scheduler by name: "FCFS", "SSTF_LBN",
-// "C-LOOK" or "SPTF" (§4.1).
+// "C-LOOK" or "SPTF" (§4.1), or one of the cost-model extensions
+// "SettleAware" and "Priority".
 func NewScheduler(name string) (Scheduler, error) { return sched.New(name) }
 
 // SchedulerNames lists the four algorithms in the paper's order.
 func SchedulerNames() []string { return sched.Names() }
+
+// AllSchedulerNames lists every name NewScheduler accepts: the paper's
+// four plus the cost-model extensions.
+func AllSchedulerNames() []string { return sched.AllNames() }
 
 // ─── Workloads and traces ───────────────────────────────────────────────
 

@@ -82,7 +82,7 @@ func TestFacadePower(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 25 {
+	if len(ids) != 26 {
 		t.Fatalf("experiment IDs: %v", ids)
 	}
 	tables, err := RunExperiment("table1", QuickExperimentParams())
