@@ -25,6 +25,11 @@
 //	                              # cost-model scheduler comparison, one extra policy
 //	memsbench -run rebuild -member-sched Priority
 //	                              # class-aware volume member queues during rebuild
+//	memsbench -check              # simulator invariant checking on every run
+//	memsbench -timeout 30s        # per-job wall-clock deadline
+//	memsbench -run mttdl -checkpoint mttdl.ckpt
+//	                              # resumable Monte-Carlo trials (byte-identical
+//	                              # resume after an interrupt)
 //
 // Artifact IDs follow the paper: table1, fig5…fig11, table2, plus the
 // quantified extensions fault, faultinject and power (DESIGN.md §2).
@@ -32,17 +37,27 @@
 // Every experiment is a batch of isolated jobs (internal/runner), so
 // -parallel N spreads the suite over N workers while producing output
 // byte-identical to a sequential run.
+//
+// Lifecycle: SIGINT/SIGTERM cancels the in-flight jobs cooperatively
+// (a second signal kills immediately); experiments whose jobs all
+// finished still publish their artifacts, the rest are reported as
+// cancelled, and the exit status is nonzero. Any job failure — panic,
+// deadline, invariant violation — likewise exits nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"memsim/internal/experiments"
 	"memsim/internal/runner"
@@ -51,35 +66,54 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an exit code, parameterized for tests:
+// 0 on success, 1 on any job or artifact failure (interruption
+// included), 2 on flag-parse errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run       = flag.String("run", "all", "comma-separated artifact IDs, or \"all\"")
-		quick     = flag.Bool("quick", false, "use reduced simulation sizes")
-		csv       = flag.Bool("csv", false, "emit CSV files instead of text tables")
-		out       = flag.String("o", "", "output directory for -csv (default: current)")
-		list      = flag.Bool("list", false, "list artifact IDs and exit")
-		seed      = flag.Int64("seed", 1, "random seed for all generators")
-		reqs      = flag.Int("requests", 0, "override per-run request count (rescales warmup, closed runs and trials proportionally)")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "simulation jobs to run concurrently")
-		progress  = flag.Bool("progress", false, "report per-job completions to stderr")
-		faultRate = flag.Float64("fault-rate", 0, "extra transient-error rate for the faultinject sweep, in [0,1)")
-		faultSeed = flag.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
-		failDev   = flag.Int("fail-dev", 0, "volume member slot the rebuild experiment kills (reduced modulo the member count)")
-		rebuild   = flag.Float64("rebuild", 0, "extra rebuild-throttle fraction for the rebuild sweep, in (0,1]; 0 keeps the standard sweep")
-		policy    = flag.String("rebuild-policy", "", "rebuild pacing for the rebuild sweep: \"\" (fixed sweep + adaptive row), \"fixed\", or \"adaptive\"")
-		mttfHours = flag.Float64("mttf-hours", 0, "per-device exponential MTTF in hours for the mttdl experiment (0: default 1000, compressed scale)")
-		trials    = flag.Int("trials", 0, "override the Monte-Carlo trial count (mttdl and other multi-trial experiments; 0 keeps the preset)")
-		thinkMs   = flag.Float64("think-ms", 0, "mean exponential think time (ms) for closed-loop terminals (fig11); 0 keeps the paper's back-to-back regime")
-		schedName = flag.String("sched", "", "extra scheduling policy for the schedcost comparison (e.g. \"SettleAware\", \"Priority\"); empty keeps the standard pair")
-		mSched    = flag.String("member-sched", "", "scheduling policy for the rebuild experiment's volume member queues (default SPTF)")
-		tracePath = flag.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
+		runIDs     = fs.String("run", "all", "comma-separated artifact IDs, or \"all\"")
+		quick      = fs.Bool("quick", false, "use reduced simulation sizes")
+		csv        = fs.Bool("csv", false, "emit CSV files instead of text tables")
+		out        = fs.String("o", "", "output directory for -csv (default: current)")
+		list       = fs.Bool("list", false, "list artifact IDs and exit")
+		seed       = fs.Int64("seed", 1, "random seed for all generators")
+		reqs       = fs.Int("requests", 0, "override per-run request count (rescales warmup, closed runs and trials proportionally)")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "simulation jobs to run concurrently")
+		progress   = fs.Bool("progress", false, "report per-job completions to stderr")
+		faultRate  = fs.Float64("fault-rate", 0, "extra transient-error rate for the faultinject sweep, in [0,1)")
+		faultSeed  = fs.Int64("fault-seed", 0, "seed for fault-injection randomness (0: derive from -seed)")
+		failDev    = fs.Int("fail-dev", 0, "volume member slot the rebuild experiment kills (reduced modulo the member count)")
+		rebuild    = fs.Float64("rebuild", 0, "extra rebuild-throttle fraction for the rebuild sweep, in (0,1]; 0 keeps the standard sweep")
+		policy     = fs.String("rebuild-policy", "", "rebuild pacing for the rebuild sweep: \"\" (fixed sweep + adaptive row), \"fixed\", or \"adaptive\"")
+		mttfHours  = fs.Float64("mttf-hours", 0, "per-device exponential MTTF in hours for the mttdl experiment (0: default 1000, compressed scale)")
+		trials     = fs.Int("trials", 0, "override the Monte-Carlo trial count (mttdl and other multi-trial experiments; 0 keeps the preset)")
+		thinkMs    = fs.Float64("think-ms", 0, "mean exponential think time (ms) for closed-loop terminals (fig11); 0 keeps the paper's back-to-back regime")
+		schedName  = fs.String("sched", "", "extra scheduling policy for the schedcost comparison (e.g. \"SettleAware\", \"Priority\"); empty keeps the standard pair")
+		mSched     = fs.String("member-sched", "", "scheduling policy for the rebuild experiment's volume member queues (default SPTF)")
+		tracePath  = fs.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
+		timeout    = fs.Duration("timeout", 0, "per-job wall-clock deadline; a job past it fails without killing the batch (0: none)")
+		check      = fs.Bool("check", false, "enable simulator invariant self-checking on every run (conservation, clock monotonicity, breakdown reconciliation)")
+		checkpoint = fs.String("checkpoint", "", "atomic progress checkpoint for resumable experiments (mttdl): interrupted trials resume byte-identically")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "memsbench:", err)
+		return 1
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
 	p := experiments.Default()
@@ -90,8 +124,9 @@ func main() {
 		faultRate: *faultRate, rebuild: *rebuild, rebuildPolicy: *policy,
 		mttfHours: *mttfHours, trials: *trials, failDev: *failDev, thinkMs: *thinkMs,
 		sched: *schedName, memberSched: *mSched,
+		timeout: *timeout, checkpoint: *checkpoint,
 	}); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	p.Seed = *seed
 	p.FaultRate = *faultRate
@@ -103,6 +138,7 @@ func main() {
 	p.ThinkMs = *thinkMs
 	p.Sched = *schedName
 	p.MemberSched = *mSched
+	p.Checkpoint = *checkpoint
 	p = p.WithRequests(*reqs)
 	// An explicit -trials wins over the preset and any -requests rescale.
 	if *trials > 0 {
@@ -110,14 +146,20 @@ func main() {
 	}
 
 	ids := experiments.IDs()
-	if *run != "all" {
-		ids = strings.Split(*run, ",")
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
 		for i := range ids {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
 
-	ctx := &runner.Context{Workers: *parallel}
+	// SIGINT/SIGTERM cancel the batch cooperatively through the context;
+	// stop() restores default handling afterwards, so a second signal
+	// during artifact writing kills the process outright.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ctx := &runner.Context{Workers: *parallel, Ctx: sigCtx, Timeout: *timeout, Check: *check}
 	var (
 		traceFile  *os.File
 		traceProbe *sim.JSONLProbe
@@ -125,11 +167,11 @@ func main() {
 	if *tracePath != "" {
 		f, err := openTrace(*tracePath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		traceFile = f
 		if *parallel > 1 {
-			fmt.Fprintln(os.Stderr, "memsbench: -trace forces -parallel 1 for deterministic event order")
+			fmt.Fprintln(stderr, "memsbench: -trace forces -parallel 1 for deterministic event order")
 		}
 		traceProbe = sim.NewJSONLProbe(traceFile)
 		ctx.Workers = 1
@@ -138,52 +180,88 @@ func main() {
 	if *progress {
 		ctx.Progress = func(ev runner.Event) {
 			if ev.Err != nil {
-				fmt.Fprintf(os.Stderr, "memsbench: [%d/%d] %s: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
+				fmt.Fprintf(stderr, "memsbench: [%d/%d] %s: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "memsbench: [%d/%d] %s (%.0f ms wall, %.0f ms simulated)\n",
+			fmt.Fprintf(stderr, "memsbench: [%d/%d] %s (%.0f ms wall, %.0f ms simulated)\n",
 				ev.Done, ev.Total, ev.Label, ev.WallMs, ev.SimMs)
 		}
 	}
 
-	results, sum, err := experiments.RunMany(ctx, ids, p)
+	outcomes, sum, err := experiments.RunEach(ctx, ids, p)
 	if err != nil {
+		// Batch construction failed (unknown ID): nothing ran.
 		if traceFile != nil {
 			os.Remove(traceFile.Name())
 		}
-		fmt.Fprintln(os.Stderr, "memsbench:", err)
-		os.Exit(1)
+		return fail(err)
 	}
+
+	interrupted := sigCtx.Err() != nil
+	failed := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintln(stderr, "memsbench:", o.Err)
+		}
+	}
+
+	// The lifecycle trace spans the whole batch: with any job missing it
+	// would masquerade as a complete record, so it only commits clean.
 	if traceProbe != nil {
-		if err := traceProbe.Flush(); err != nil {
+		if interrupted || failed > 0 {
 			os.Remove(traceFile.Name())
-			fatal(fmt.Errorf("writing %s: %w", *tracePath, err))
+			fmt.Fprintln(stderr, "memsbench: discarding incomplete lifecycle trace")
+		} else {
+			if err := traceProbe.Flush(); err != nil {
+				os.Remove(traceFile.Name())
+				return fail(fmt.Errorf("writing %s: %w", *tracePath, err))
+			}
+			if err := commitTrace(traceFile, *tracePath); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "memsbench: wrote lifecycle trace to %s\n", *tracePath)
 		}
-		if err := commitTrace(traceFile, *tracePath); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "memsbench: wrote lifecycle trace to %s\n", *tracePath)
 	}
 	if *progress {
 		simTotal := sum.Sim.Mean() * float64(sum.Sim.N())
-		fmt.Fprintf(os.Stderr, "memsbench: %d jobs in %.0f ms wall (%.0f ms simulated across jobs)\n",
+		fmt.Fprintf(stderr, "memsbench: %d jobs in %.0f ms wall (%.0f ms simulated across jobs)\n",
 			sum.Jobs, sum.ElapsedMs, simTotal)
 	}
 
-	for _, tables := range results {
-		for _, t := range tables {
+	// Publish every completed experiment — under interruption the ones
+	// that finished are still correct, and the CSV path writes each
+	// atomically.
+	for _, o := range outcomes {
+		if o.Err != nil {
+			continue
+		}
+		for _, t := range o.Tables {
 			if *csv {
-				writeCSV(t, *out)
+				if err := writeCSV(t, *out, stdout); err != nil {
+					return fail(err)
+				}
 			} else {
-				t.Fprint(os.Stdout)
+				t.Fprint(stdout)
 			}
 		}
 	}
+
+	switch {
+	case interrupted:
+		fmt.Fprintf(stderr, "memsbench: interrupted: %d/%d jobs done, %d cancelled; %d/%d artifacts intact\n",
+			sum.Jobs-sum.Failed, sum.Jobs, sum.Cancelled, len(outcomes)-failed, len(outcomes))
+		return 1
+	case failed > 0:
+		fmt.Fprintf(stderr, "memsbench: %d of %d artifacts failed\n", failed, len(outcomes))
+		return 1
+	}
+	return 0
 }
 
-// flagValues collects the fault/rebuild/availability knobs subject to
-// parse-time validation, so a bad value fails with a one-line error
-// before any simulation starts.
+// flagValues collects the fault/rebuild/availability/lifecycle knobs
+// subject to parse-time validation, so a bad value fails with a
+// one-line error before any simulation starts.
 type flagValues struct {
 	faultRate     float64
 	rebuild       float64
@@ -194,6 +272,8 @@ type flagValues struct {
 	thinkMs       float64
 	sched         string
 	memberSched   string
+	timeout       time.Duration
+	checkpoint    string
 }
 
 // validateFlags rejects out-of-range or nonsensical knob values.
@@ -231,16 +311,30 @@ func validateFlags(v flagValues) error {
 			return fmt.Errorf("-member-sched %q must be one of %s", v.memberSched, strings.Join(sched.AllNames(), ", "))
 		}
 	}
+	if v.timeout < 0 {
+		return fmt.Errorf("-timeout %s must be non-negative (0: no deadline)", v.timeout)
+	}
+	if v.checkpoint != "" {
+		if info, err := os.Stat(v.checkpoint); err == nil && info.IsDir() {
+			return fmt.Errorf("-checkpoint %s: is a directory", v.checkpoint)
+		}
+		if dir := filepath.Dir(v.checkpoint); dir != "." {
+			if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+				return fmt.Errorf("-checkpoint %s: directory %s does not exist", v.checkpoint, dir)
+			}
+		}
+	}
 	return nil
 }
 
-func writeCSV(t experiments.Table, out string) {
+// writeCSV writes one table's CSV artifact atomically.
+func writeCSV(t experiments.Table, out string, stdout io.Writer) error {
 	dir := out
 	if dir == "" {
 		dir = "."
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	path := filepath.Join(dir, t.ID+".csv")
 	// Atomic: an interrupted run never leaves a truncated artifact.
@@ -249,9 +343,10 @@ func writeCSV(t experiments.Table, out string) {
 		return nil
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(stdout, "wrote", path)
+	return nil
 }
 
 // openTrace validates the -trace output path and opens a temporary file
@@ -282,9 +377,4 @@ func commitTrace(f *os.File, path string) error {
 		return fmt.Errorf("-trace %s: %w", path, err)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "memsbench:", err)
-	os.Exit(1)
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -14,7 +15,8 @@ func TestValidateFlags(t *testing.T) {
 	}
 	good := flagValues{faultRate: 0.02, rebuild: 0.3, rebuildPolicy: "adaptive",
 		mttfHours: 2000, trials: 500, failDev: 1, thinkMs: 5,
-		sched: "SettleAware", memberSched: "Priority"}
+		sched: "SettleAware", memberSched: "Priority",
+		timeout: time.Minute, checkpoint: filepath.Join(t.TempDir(), "state.ckpt")}
 	if err := validateFlags(good); err != nil {
 		t.Fatalf("valid values rejected: %v", err)
 	}
@@ -37,6 +39,11 @@ func TestValidateFlags(t *testing.T) {
 		{"negative think", func(v *flagValues) { v.thinkMs = -1 }, "-think-ms"},
 		{"unknown sched", func(v *flagValues) { v.sched = "EDF" }, "-sched"},
 		{"unknown member sched", func(v *flagValues) { v.memberSched = "EDF" }, "-member-sched"},
+		{"negative timeout", func(v *flagValues) { v.timeout = -time.Second }, "-timeout"},
+		{"checkpoint in missing directory",
+			func(v *flagValues) { v.checkpoint = filepath.Join("/no-such-dir-memsbench", "a.ckpt") },
+			"-checkpoint"},
+		{"checkpoint is a directory", func(v *flagValues) { v.checkpoint = os.TempDir() }, "-checkpoint"},
 	}
 	for _, tc := range cases {
 		v := good

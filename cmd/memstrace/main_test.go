@@ -81,3 +81,36 @@ func TestReplaySmoke(t *testing.T) {
 		t.Errorf("JSONL lines = %d, want 8\n%s", lines, data)
 	}
 }
+
+func TestReplayRejectsMalformedTraces(t *testing.T) {
+	// Replay input is untrusted: truncated rows, unparseable fields and
+	// non-finite times must come back as one-line errors from the parse
+	// or validation layer, never reach the simulator.
+	cases := []struct {
+		name, content, want string
+	}{
+		{"truncated row", "1.0 r 10\n", "want 4 fields"},
+		{"bad op", "1.0 x 10 4\n", "bad op"},
+		{"bad time", "abc r 10 4\n", "bad time"},
+		{"nan time", "NaN r 10 4\n", "non-finite time"},
+		{"inf time", "+Inf r 10 4\n", "non-finite time"},
+		{"overflow time", "1e309 r 10 4\n", "bad time"},
+		{"time regression", "5.0 r 10 4\n1.0 r 20 4\n", "precedes"},
+		{"zero blocks", "1.0 r 10 0\n", "blocks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.txt")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := replay(path, "mems", "FCFS", 1, 0, "")
+			if err == nil {
+				t.Fatal("malformed trace replayed without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

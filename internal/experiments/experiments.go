@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -75,6 +76,15 @@ type Params struct {
 	// into a multiprogrammed one. Zero (the default) keeps the paper's
 	// back-to-back behavior.
 	ThinkMs float64
+	// Checkpoint, when non-empty, is the path of an atomic progress
+	// checkpoint (cmd/memsbench -checkpoint) for resumable experiments —
+	// today the Monte-Carlo mttdl trials. An interrupted run saves its
+	// partial trial state there; rerunning with the same flags resumes
+	// from it and, because trial randomness comes from per-trial seed
+	// sub-streams, produces output byte-identical to an uninterrupted
+	// run. The whole Params set is bound into the checkpoint, so
+	// resuming under different flags is an error, not a wrong answer.
+	Checkpoint string
 }
 
 // faultSeed resolves the injector base seed per the FaultSeed contract.
@@ -255,10 +265,28 @@ func RunWith(ctx *runner.Context, id string, p Params) ([]Table, error) {
 	return pl.Assemble(), nil
 }
 
-// RunMany executes several experiments as one job batch — the pool sees
-// every job at once, so wide and narrow experiments interleave instead of
-// serializing per artifact. Results come back per requested ID, in order.
-func RunMany(ctx *runner.Context, ids []string, p Params) ([][]Table, runner.Summary, error) {
+// Outcome is one experiment's result within a batch: its tables when
+// every one of its jobs succeeded, or the error that prevented
+// assembly. An interrupted batch yields a mix — experiments whose jobs
+// all finished carry Tables and are safe to publish, the rest carry
+// Err — which is what lets a cancelled CLI still flush the artifacts
+// that completed.
+type Outcome struct {
+	// ID is the experiment identifier the outcome belongs to.
+	ID string
+	// Tables holds the assembled artifact when Err is nil.
+	Tables []Table
+	// Err joins the experiment's job failures (cancellation included)
+	// in declaration order; the Tables must not be read when non-nil.
+	Err error
+}
+
+// RunEach executes several experiments as one job batch like RunMany but
+// reports per-experiment Outcomes instead of failing the whole batch on
+// the first error: each experiment assembles if and only if all of its
+// own jobs succeeded. The error return covers batch construction only
+// (an unknown ID); execution failures live in the Outcomes.
+func RunEach(ctx *runner.Context, ids []string, p Params) ([]Outcome, runner.Summary, error) {
 	plans := make([]*Plan, len(ids))
 	var jobs []*runner.Job
 	for i, id := range ids {
@@ -269,13 +297,45 @@ func RunMany(ctx *runner.Context, ids []string, p Params) ([][]Table, runner.Sum
 		plans[i] = pl
 		jobs = append(jobs, pl.Jobs...)
 	}
-	sum, err := ctx.Run(jobs)
+	sum, _ := ctx.Run(jobs) // failures re-attributed per experiment below
+	outs := make([]Outcome, len(ids))
+	for i, pl := range plans {
+		outs[i] = Outcome{ID: ids[i]}
+		var errs []error
+		for _, j := range pl.Jobs {
+			if err := j.Err(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := errors.Join(errs...); err != nil {
+			outs[i].Err = fmt.Errorf("experiments: %s: %w", ids[i], err)
+			continue
+		}
+		outs[i].Tables = pl.Assemble()
+	}
+	return outs, sum, nil
+}
+
+// RunMany executes several experiments as one job batch — the pool sees
+// every job at once, so wide and narrow experiments interleave instead of
+// serializing per artifact. Results come back per requested ID, in order;
+// any experiment's failure fails the whole call.
+func RunMany(ctx *runner.Context, ids []string, p Params) ([][]Table, runner.Summary, error) {
+	outs, sum, err := RunEach(ctx, ids, p)
 	if err != nil {
 		return nil, sum, err
 	}
-	out := make([][]Table, len(ids))
-	for i, pl := range plans {
-		out[i] = pl.Assemble()
+	out := make([][]Table, len(outs))
+	var errs []error
+	for i, o := range outs {
+		if o.Err != nil {
+			errs = append(errs, o.Err)
+			continue
+		}
+		out[i] = o.Tables
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, sum, err
 	}
 	return out, sum, nil
 }

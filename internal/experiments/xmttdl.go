@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"memsim/internal/array"
 	"memsim/internal/fault"
@@ -24,12 +25,31 @@ const DefaultMTTFHours = 1000
 // territory; it exists so a degenerate window cannot loop forever.
 const mttdlMaxCycles = 1 << 22
 
+// mttdlCheckpointEvery is the trial interval between periodic
+// checkpoint flushes. Trials are microseconds of CPU, so the interval
+// is large — roughly a second of lost work per flush — and the flush
+// that matters most (on cancellation) happens regardless.
+const mttdlCheckpointEvery = 1 << 20
+
 // mttdlOutcome is one (device, level) job's summary.
 type mttdlOutcome struct {
 	windowS  float64 // measured rebuild window (MTTR) in seconds
 	sumMs    float64 // summed time-to-data-loss across trials
 	trials   int
 	censored int // trials that hit mttdlMaxCycles without a loss
+}
+
+// mttdlState is one job's resumable progress, serialized into the
+// checkpoint file: the measured rebuild window plus the renewal chain's
+// running sums through the first Trial trials. Because every trial
+// draws from its own derived seed sub-stream, completing trials
+// [Trial, n) on a resumed run reproduces the uninterrupted totals
+// exactly.
+type mttdlState struct {
+	WindowS  float64 `json:"window_s"`
+	Trial    int     `json:"trial"`
+	SumMs    float64 `json:"sum_ms"`
+	Censored int     `json:"censored"`
 }
 
 // mttdlHours is the trial-mean time to data loss in hours.
@@ -74,6 +94,25 @@ func mttdlPlan(p Params) *Plan {
 	}
 	devices := rebuildDevices()
 
+	// The checkpoint opens lazily and once, shared by all four jobs (the
+	// store itself is concurrency-safe). Binding the full Params set in
+	// makes resuming under different flags an error instead of a silently
+	// different answer.
+	var (
+		ckOnce sync.Once
+		ck     *runner.Checkpoint
+		ckErr  error
+	)
+	openCheckpoint := func() (*runner.Checkpoint, error) {
+		if p.Checkpoint == "" {
+			return nil, nil
+		}
+		ckOnce.Do(func() {
+			ck, ckErr = runner.OpenCheckpoint(p.Checkpoint, "mttdl", p)
+		})
+		return ck, ckErr
+	}
+
 	grid := make([][]*runner.Job, len(levels))
 	var jobs []*runner.Job
 	for li, lv := range levels {
@@ -85,12 +124,30 @@ func mttdlPlan(p Params) *Plan {
 				Seed:  p.Seed,
 			}
 			j.Custom = func(job *runner.Job) any {
-				// The vulnerability window is measured, not assumed: one
-				// real failover run under foreground load at throttle 0.3
-				// (the rebuild artifact's middle operating point).
-				w := rebuildRun(job, lv.cfg, dev.mk, dev.rate, 0.3, nil, p)
-				out := mttdlOutcome{windowS: w.mttrS, trials: trials}
-				windowMs := w.mttrS * 1000
+				ckpt, err := openCheckpoint()
+				if err != nil {
+					return err
+				}
+				save := func(st mttdlState) error {
+					if ckpt == nil {
+						return nil
+					}
+					return ckpt.Save(job.Label, &st)
+				}
+				var st mttdlState
+				if ckpt == nil || !ckpt.Load(job.Label, &st) {
+					// Fresh start: the vulnerability window is measured, not
+					// assumed — one real failover run under foreground load at
+					// throttle 0.3 (the rebuild artifact's middle operating
+					// point). An interruption here has nothing worth saving.
+					w := rebuildRun(job, lv.cfg, dev.mk, dev.rate, 0.3, nil, p)
+					if cerr := job.Ctx().Err(); cerr != nil {
+						return cerr
+					}
+					st = mttdlState{WindowS: w.mttrS}
+				}
+				out := mttdlOutcome{windowS: st.WindowS, trials: trials}
+				windowMs := st.WindowS * 1000
 				if windowMs <= 0 {
 					// Rebuild never completed (degenerate sizing): without a
 					// window the renewal chain is meaningless — report the
@@ -98,17 +155,36 @@ func mttdlPlan(p Params) *Plan {
 					out.trials = 0
 					return out
 				}
-				for i := 0; i < trials; i++ {
+				for i := st.Trial; i < trials; i++ {
+					if i&1023 == 0 && job.Ctx().Err() != nil {
+						// Cancelled mid-chain: persist the completed trials so
+						// the next run resumes instead of restarting, then fail
+						// the job with the cancellation cause.
+						if serr := save(st); serr != nil {
+							return serr
+						}
+						return job.Ctx().Err()
+					}
 					// The trial label omits the device, so MEMS and disk
 					// draw identical lifetimes and differ only in window.
 					seed := runner.DeriveSeed(p.Seed, fmt.Sprintf("mttdl %s trial %d", lv.name, i))
 					s := fault.NewLifetimeSampler(mttfMs, seed)
 					t, lost := fault.TimeToDataLoss(s, lv.cfg.Members, windowMs, mttdlMaxCycles)
-					out.sumMs += t
+					st.SumMs += t
 					if !lost {
-						out.censored++
+						st.Censored++
+					}
+					st.Trial = i + 1
+					if st.Trial%mttdlCheckpointEvery == 0 {
+						if serr := save(st); serr != nil {
+							return serr
+						}
 					}
 				}
+				if serr := save(st); serr != nil {
+					return serr
+				}
+				out.sumMs, out.censored = st.SumMs, st.Censored
 				return out
 			}
 			grid[li][di] = j

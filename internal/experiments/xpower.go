@@ -53,7 +53,7 @@ func powerPlan(p Params) *Plan {
 		jobs[i] = &runner.Job{
 			Label: fmt.Sprintf("power %s %s", v.device, v.polName),
 			Seed:  p.Seed,
-			Custom: func(*runner.Job) any {
+			Custom: func(job *runner.Job) any {
 				var inner core.Device
 				if v.device == "MEMS" {
 					inner = newMEMS(1)
@@ -66,7 +66,11 @@ func powerPlan(p Params) *Plan {
 					reqs[i] = rec.Request()
 				}
 				m := power.NewManaged(inner, v.model, v.policy)
-				res := sim.Run(nil, m, sched.NewFCFS(), workload.NewFromSlice(reqs), sim.Options{})
+				res := sim.Run(job.SimContext(), m, sched.NewFCFS(), workload.NewFromSlice(reqs),
+					job.SimOptions(sim.Options{}))
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
 				m.FinishAt(res.Elapsed)
 				rep := m.Report()
 				return []string{v.device, v.polName,

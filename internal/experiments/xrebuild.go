@@ -113,7 +113,11 @@ func rebuildPlan(p Params) *Plan {
 				Seed:  p.Seed,
 			}
 			j.Custom = func(job *runner.Job) any {
-				return rebuildRun(job, parityCfg, dev.mk, dev.rate, frac, nil, p)
+				out := rebuildRun(job, parityCfg, dev.mk, dev.rate, frac, nil, p)
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
+				return out
 			}
 			grid[fi][di] = j
 			jobs = append(jobs, j)
@@ -129,7 +133,11 @@ func rebuildPlan(p Params) *Plan {
 				Seed:  p.Seed,
 			}
 			j.Custom = func(job *runner.Job) any {
-				return rebuildRun(job, parityCfg, dev.mk, dev.rate, 0, sim.AdaptiveRebuild{}, p)
+				out := rebuildRun(job, parityCfg, dev.mk, dev.rate, 0, sim.AdaptiveRebuild{}, p)
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
+				return out
 			}
 			adaptiveJobs[di] = j
 			jobs = append(jobs, j)
@@ -145,7 +153,11 @@ func rebuildPlan(p Params) *Plan {
 				Seed:  p.Seed,
 			}
 			j.Custom = func(job *runner.Job) any {
-				return rebuildRun(job, mirrorCfg, dev.mk, dev.rate, 0.3, nil, p)
+				out := rebuildRun(job, mirrorCfg, dev.mk, dev.rate, 0.3, nil, p)
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
+				return out
 			}
 			mirror[di] = j
 			jobs = append(jobs, j)
@@ -242,10 +254,10 @@ func rebuildRun(job *runner.Job, cfg array.VolumeConfig, mk core.DeviceFactory,
 		Count:        p.Requests,
 		Seed:         p.Seed,
 	})
-	res, err := sim.RunVolume(nil, sim.VolumeSpec{
+	res, err := sim.RunVolume(job.SimContext(), sim.VolumeSpec{
 		Volume: v, Devices: devs, Scheds: scheds,
 		RebuildChunk: int(cfg.StripeUnit), RebuildFrac: frac, RebuildPolicy: policy,
-	}, src, sim.Options{Warmup: p.Warmup, Injector: inj})
+	}, src, job.SimOptions(sim.Options{Warmup: p.Warmup, Injector: inj}))
 	if err != nil {
 		panic(err)
 	}

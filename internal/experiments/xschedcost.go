@@ -105,7 +105,8 @@ func schedCostRun(job *runner.Job, dev schedCostDevice, schedName string, p Para
 	pc := sim.NewPhaseCollector()
 	rp := &respProbe{}
 	src := workload.DefaultRandom(dev.rate, d.SectorSize(), d.Capacity(), p.Requests, p.Seed)
-	res := sim.Run(nil, d, s, src, sim.Options{Warmup: p.Warmup, Probe: sim.MultiProbe{pc, rp}})
+	res := sim.Run(job.SimContext(), d, s, src,
+		job.SimOptions(sim.Options{Warmup: p.Warmup, Probe: sim.MultiProbe{pc, rp}}))
 	job.SimMs = res.Elapsed
 	return schedCostOutcome{
 		mean:    rp.d.Mean(),
@@ -164,10 +165,10 @@ func schedDegradedRun(job *runner.Job, memberSched string, frac float64, p Param
 		Count:        p.Requests,
 		Seed:         p.Seed,
 	})
-	res, err := sim.RunVolume(nil, sim.VolumeSpec{
+	res, err := sim.RunVolume(job.SimContext(), sim.VolumeSpec{
 		Volume: v, Devices: devs, Scheds: scheds,
 		RebuildChunk: int(cfg.StripeUnit), RebuildFrac: frac,
-	}, src, sim.Options{Warmup: p.Warmup, Injector: inj})
+	}, src, job.SimOptions(sim.Options{Warmup: p.Warmup, Injector: inj}))
 	if err != nil {
 		panic(err)
 	}
@@ -203,7 +204,13 @@ func schedCostPlan(p Params) *Plan {
 				Label: fmt.Sprintf("schedcost %s %s", dev.name, name),
 				Seed:  p.Seed,
 			}
-			j.Custom = func(job *runner.Job) any { return schedCostRun(job, dev, name, p) }
+			j.Custom = func(job *runner.Job) any {
+				out := schedCostRun(job, dev, name, p)
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
+				return out
+			}
 			grid[di][si] = j
 			jobs = append(jobs, j)
 		}
@@ -218,7 +225,13 @@ func schedCostPlan(p Params) *Plan {
 				Label: fmt.Sprintf("schedcost degraded %s f=%g", name, frac),
 				Seed:  p.Seed,
 			}
-			j.Custom = func(job *runner.Job) any { return schedDegradedRun(job, name, frac, p) }
+			j.Custom = func(job *runner.Job) any {
+				out := schedDegradedRun(job, name, frac, p)
+				if err := job.Ctx().Err(); err != nil {
+					return err
+				}
+				return out
+			}
 			degraded[fi][si] = j
 			jobs = append(jobs, j)
 		}

@@ -32,8 +32,12 @@ func stripingPlan(p Params) *Plan {
 			j := &runner.Job{
 				Label: fmt.Sprintf("striping %d sleds rate=%g", n, rate),
 				Seed:  p.Seed,
-				Custom: func(*runner.Job) any {
-					return stripedResponse(n, rate, p)
+				Custom: func(job *runner.Job) any {
+					out := stripedResponse(job, n, rate, p)
+					if err := job.Ctx().Err(); err != nil {
+						return err
+					}
+					return out
 				},
 			}
 			grid[ri][ni] = j
@@ -84,7 +88,7 @@ type stripedOutcome struct {
 // returns the mean response time — or −1 when the configuration is
 // hopelessly saturated (mean response above 1 s) — together with the
 // router's clamp count.
-func stripedResponse(n int, rate float64, p Params) stripedOutcome {
+func stripedResponse(job *runner.Job, n int, rate float64, p Params) stripedOutcome {
 	devs := make([]core.Device, n)
 	scheds := make([]core.Scheduler, n)
 	for i := range devs {
@@ -106,7 +110,8 @@ func stripedResponse(n int, rate float64, p Params) stripedOutcome {
 		Seed:         p.Seed,
 	}
 	src := workload.NewRandom(cfg)
-	res, err := sim.RunMulti(nil, devs, scheds, sim.StripeRouter(unit, n), src, sim.Options{Warmup: p.Warmup})
+	res, err := sim.RunMulti(job.SimContext(), devs, scheds, sim.StripeRouter(unit, n), src,
+		job.SimOptions(sim.Options{Warmup: p.Warmup}))
 	if err != nil {
 		// Recovered by the runner into a per-job error.
 		panic(err)

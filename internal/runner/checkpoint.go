@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an atomic resumable-progress store for long-running
+// Monte-Carlo jobs: a single JSON file holding one serialized state
+// blob per job label, bound to the experiment and parameter set that
+// wrote it. Every Save rewrites the whole file through WriteArtifact
+// (temp + rename), so a run killed mid-save leaves either the previous
+// checkpoint or the new one on disk — never a torn file.
+//
+// Resumability relies on the job's own determinism: a job that derives
+// all randomness from per-unit seeds (DeriveSeed sub-streams) can
+// reload its state, skip the completed units, and produce output
+// byte-identical to an uninterrupted run. The parameter binding makes
+// the other half of that contract safe: resuming under different
+// parameters would silently change the answer, so OpenCheckpoint
+// refuses a file written under any other experiment or parameter set.
+//
+// A Checkpoint is safe for concurrent use by parallel jobs.
+type Checkpoint struct {
+	path string
+	mu   sync.Mutex
+	file checkpointFile
+}
+
+type checkpointFile struct {
+	Experiment string                     `json:"experiment"`
+	Params     json.RawMessage            `json:"params"`
+	Jobs       map[string]json.RawMessage `json:"jobs"`
+}
+
+// OpenCheckpoint opens the checkpoint at path, creating its in-memory
+// state if the file does not exist yet, or loading saved job states if
+// it does. params (any JSON-marshalable value) binds the checkpoint to
+// the run's configuration; an existing file written by a different
+// experiment or under different parameters is an error, not a resume.
+func OpenCheckpoint(path, experiment string, params any) (*Checkpoint, error) {
+	bound, err := json.Marshal(params)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: encoding params: %w", path, err)
+	}
+	ck := &Checkpoint{path: path, file: checkpointFile{
+		Experiment: experiment,
+		Params:     bound,
+		Jobs:       map[string]json.RawMessage{},
+	}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	var existing checkpointFile
+	if err := json.Unmarshal(data, &existing); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt: %v (delete it to start over)", path, err)
+	}
+	if existing.Experiment != experiment {
+		return nil, fmt.Errorf("checkpoint %s: written by experiment %q, not %q (delete it to start over)", path, existing.Experiment, experiment)
+	}
+	if !sameJSON(existing.Params, bound) {
+		return nil, fmt.Errorf("checkpoint %s: written under different parameters (rerun with the original flags, or delete it to start over)", path)
+	}
+	if existing.Jobs != nil {
+		ck.file.Jobs = existing.Jobs
+	}
+	return ck, nil
+}
+
+// Load reads the saved state for the given job label into v, reporting
+// whether a usable entry existed. An unreadable entry counts as absent:
+// recomputing a unit of work is always safe, resuming from garbage is
+// not.
+func (c *Checkpoint) Load(label string, v any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.file.Jobs[label]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, v) == nil
+}
+
+// Save stores v as the job label's state and flushes the whole
+// checkpoint to disk atomically.
+func (c *Checkpoint) Save(label string, v any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: encoding %q: %w", c.path, label, err)
+	}
+	c.file.Jobs[label] = raw
+	// Map keys marshal in sorted order, so the file bytes are a pure
+	// function of the saved states — stable under parallel job order.
+	data, err := json.MarshalIndent(&c.file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	return WriteArtifact(c.path, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	})
+}
+
+// sameJSON compares two JSON documents byte-wise after compaction, so
+// formatting differences don't defeat the parameter binding.
+func sameJSON(a, b json.RawMessage) bool {
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return false
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}

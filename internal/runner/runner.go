@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -60,7 +61,11 @@ type Job struct {
 
 	// Custom, when non-nil, replaces the declarative run; its return
 	// value becomes the job's Value. It may report simulated time by
-	// setting SimMs.
+	// setting SimMs. A Custom body that returns an error value fails the
+	// job with it (the body's only non-panic error channel) — the
+	// convention cancellable bodies use to surface Ctx's cancellation
+	// cause. Bodies observe the batch lifecycle through Ctx, SimContext
+	// and SimOptions.
 	Custom func(j *Job) any
 
 	// SimMs is the simulated time the job covered in milliseconds. The
@@ -72,6 +77,40 @@ type Job struct {
 	val  any
 	err  error
 	done bool
+
+	// ctx and check are the batch lifecycle policy the pool installs
+	// before executing the job: the job's cancellation context (batch
+	// signal plus per-job deadline) and whether invariant checking was
+	// requested.
+	ctx   context.Context
+	check bool
+}
+
+// Ctx returns the job's lifecycle context: the batch Context.Ctx bounded
+// by the per-job deadline, installed by the pool before the job runs.
+// Custom bodies poll it (or thread it via SimContext) to stop early;
+// before the job runs it is context.Background.
+func (j *Job) Ctx() context.Context {
+	if j.ctx == nil {
+		return context.Background()
+	}
+	return j.ctx
+}
+
+// SimContext returns a sim.Context wired to the job's lifecycle context,
+// for Custom bodies to pass as the first argument of the sim entry
+// points so their inner runs stop at batch cancellation or the job's
+// deadline.
+func (j *Job) SimContext() *sim.Context { return &sim.Context{Ctx: j.Ctx()} }
+
+// SimOptions folds the batch's lifecycle policy into opts — today just
+// Context.Check — so Custom bodies honor `-check` the same way
+// declarative jobs do.
+func (j *Job) SimOptions(opts sim.Options) sim.Options {
+	if j.check {
+		opts.Check = true
+	}
+	return opts
 }
 
 // Err returns the job's execution error (nil if it succeeded or has not
@@ -102,14 +141,22 @@ func (j *Job) Value() any {
 // cannot take down the whole pool. A non-nil probe is attached to the
 // declarative regimes (labelled with the job), composed after any probe
 // the job declared itself; Custom bodies drive their own loops and are
-// not probed.
-func (j *Job) run(probe sim.Probe) (err error) {
+// not probed. jctx (the batch context bounded by the per-job deadline)
+// and check are installed on the job first, so Custom bodies see them
+// through Ctx/SimContext/SimOptions; declarative runs thread them
+// directly, and a run stopped by cancellation fails the job with the
+// context's error instead of publishing a partial Result.
+func (j *Job) run(probe sim.Probe, jctx context.Context, check bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job %q: panic: %v", j.Label, r)
 		}
 	}()
+	j.ctx, j.check = jctx, check
 	opts := j.Options
+	if check {
+		opts.Check = true
+	}
 	if probe != nil {
 		labelled := sim.WithRun(probe, j.Label)
 		if opts.Probe == nil {
@@ -118,19 +165,30 @@ func (j *Job) run(probe sim.Probe) (err error) {
 			opts.Probe = sim.MultiProbe{opts.Probe, labelled}
 		}
 	}
+	sctx := &sim.Context{Ctx: jctx}
 	switch {
 	case j.Custom != nil:
 		j.val = j.Custom(j)
+		if cerr, ok := j.val.(error); ok && cerr != nil {
+			return fmt.Errorf("job %q: %w", j.Label, cerr)
+		}
 	case j.Device == nil || j.Source == nil:
 		return fmt.Errorf("job %q: no Custom body and no device/source factories", j.Label)
 	case j.Scheduler != nil:
 		d := j.Device()
-		j.res = sim.Run(nil, d, j.Scheduler(), j.Source(d), opts)
+		j.res = sim.Run(sctx, d, j.Scheduler(), j.Source(d), opts)
 		j.SimMs = j.res.Elapsed
 	default:
 		d := j.Device()
-		j.res = sim.RunClosed(nil, d, j.Source(d), opts)
+		j.res = sim.RunClosed(sctx, d, j.Source(d), opts)
 		j.SimMs = j.res.Elapsed
+	}
+	if j.res.Cancelled {
+		cause := jctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fmt.Errorf("job %q: %w", j.Label, cause)
 	}
 	j.done = true
 	return nil
@@ -159,6 +217,13 @@ type Summary struct {
 	// ElapsedMs is the batch's host wall-clock from first dispatch to
 	// last completion.
 	ElapsedMs float64
+	// Failed counts jobs that finished with a non-nil Err, for whatever
+	// reason.
+	Failed int
+	// Cancelled counts the subset of failed jobs stopped by the batch
+	// context or a per-job deadline (Context.Ctx, Context.Timeout) —
+	// the done/cancelled split an interrupted CLI reports.
+	Cancelled int
 }
 
 // Context carries execution policy and observability through a batch of
@@ -179,6 +244,21 @@ type Context struct {
 	// after any probe a job declared itself; Custom jobs are left
 	// untouched.
 	Probe sim.Probe
+	// Ctx, when non-nil, cancels the whole batch: in-flight jobs stop at
+	// their engine's next cancellation poll and fail with the context's
+	// error, jobs not yet started are skipped with the same error, and
+	// Run returns once the pool drains. nil means the batch cannot be
+	// cancelled.
+	Ctx context.Context
+	// Timeout, when positive, bounds each job's wall-clock execution
+	// individually. A job that exceeds it fails with
+	// context.DeadlineExceeded through Job.Err without affecting its
+	// siblings — the pool keeps executing the rest of the batch.
+	Timeout time.Duration
+	// Check enables simulator invariant checking (sim.Options.Check) on
+	// every declarative job; Custom bodies opt in by building their
+	// options through Job.SimOptions.
+	Check bool
 }
 
 // Run executes every job and returns aggregate metrics. Jobs run on a
@@ -214,11 +294,32 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 			for i := range idx {
 				j := jobs[i]
 				jobStart := time.Now()
-				var probe sim.Probe
+				var (
+					probe   sim.Probe
+					base    = context.Background()
+					timeout time.Duration
+					check   bool
+				)
 				if c != nil {
-					probe = c.Probe
+					probe, timeout, check = c.Probe, c.Timeout, c.Check
+					if c.Ctx != nil {
+						base = c.Ctx
+					}
 				}
-				err := j.run(probe)
+				var err error
+				if base.Err() != nil {
+					// The batch is cancelled: skip jobs that have not
+					// started rather than burning their setup cost.
+					j.ctx, j.check = base, check
+					err = fmt.Errorf("job %q: %w", j.Label, base.Err())
+				} else {
+					jctx, cancel := base, func() {}
+					if timeout > 0 {
+						jctx, cancel = context.WithTimeout(base, timeout)
+					}
+					err = j.run(probe, jctx, check)
+					cancel()
+				}
 				j.err = err
 				wallMs := float64(time.Since(jobStart)) / float64(time.Millisecond)
 				wall.Add(wallMs)
@@ -244,9 +345,14 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 	// Aggregate failures in declaration order, not completion order, so
 	// the joined error is deterministic under parallelism.
 	var errs []error
+	failed, cancelled := 0, 0
 	for _, j := range jobs {
 		if j.err != nil {
 			errs = append(errs, j.err)
+			failed++
+			if errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded) {
+				cancelled++
+			}
 		}
 	}
 	sum := Summary{
@@ -254,6 +360,8 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 		Wall:      wall.Snapshot(),
 		Sim:       simt.Snapshot(),
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		Failed:    failed,
+		Cancelled: cancelled,
 	}
 	return sum, errors.Join(errs...)
 }

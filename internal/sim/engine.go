@@ -26,6 +26,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"memsim/internal/core"
 	"memsim/internal/fault"
 	"memsim/internal/workload"
@@ -41,9 +43,11 @@ type engine struct {
 	q    EventQueue
 	res  Result
 
+	arrived   int
 	completed int
 	stopped   bool
 	runErr    error
+	check     *InvariantProbe
 }
 
 // newEngine builds an engine for one run, resetting the injector and
@@ -55,23 +59,80 @@ func newEngine(ctx *Context, opts Options) *engine {
 		e.inj.Reset()
 	}
 	resetProbe(e.p)
+	if opts.Check {
+		e.check = NewInvariantProbe()
+		if e.p == nil {
+			e.p = e.check
+		} else {
+			e.p = MultiProbe{e.p, e.check}
+		}
+	}
 	return e
 }
 
 // loop dispatches events until the queue drains or a regime stops the
-// run (MaxRequests, router error).
+// run (MaxRequests, router error). With a cancellable Context the loop
+// additionally polls the cancellation channel every CancelEvery events;
+// the common uncancellable case keeps the bare dispatch loop.
 func (e *engine) loop() {
-	for !e.stopped && e.q.Step() {
+	done := e.ctx.done()
+	if done == nil {
+		for !e.stopped && e.q.Step() {
+		}
+		return
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	cancel := func() {
+		e.stopped = true
+		e.res.Cancelled = true
+	}
+	if cancelled() {
+		// Already cancelled (an expired deadline, a batch-wide interrupt
+		// before this job started): stop before dispatching anything.
+		cancel()
+		return
+	}
+	every := e.ctx.CancelEvery
+	if every <= 0 {
+		every = DefaultCancelEvery
+	}
+	for n := 0; !e.stopped && e.q.Step(); {
+		if n++; n%every == 0 && cancelled() {
+			cancel()
+		}
 	}
 }
 
 // finalize closes the run: elapsed time, phase aggregates, and data
-// loss latched from the injector's redundancy array.
+// loss latched from the injector's redundancy array. In check mode it
+// then verifies the end-of-run invariants — every top-level arrival was
+// completed when the run drained naturally, and the attached
+// InvariantProbe saw no per-event violations — panicking on failure
+// (the EventQueue convention: an invariant violation is a simulation
+// bug, not an operational error).
 func (e *engine) finalize() {
 	e.res.Elapsed = e.q.Now()
 	e.res.Phases = phaseStats(e.p)
 	if e.inj != nil && e.inj.Array() != nil && e.inj.Array().DataLoss() {
 		e.res.DataLoss = true
+	}
+	for _, iv := range findInvariantProbes(e.p) {
+		iv.finishRun(&e.res)
+	}
+	if e.opts.Check {
+		if !e.stopped && e.arrived != e.completed {
+			panic(fmt.Sprintf("sim: invariant violated: %d arrivals but %d completions in a drained run", e.arrived, e.completed))
+		}
+		if err := e.check.Err(); err != nil {
+			panic(err.Error())
+		}
 	}
 }
 
@@ -219,6 +280,7 @@ func (e *engine) complete(now float64, r *core.Request, dev, qlen int, resp, svc
 func (e *engine) chainArrivals(src workload.Source, deliver func(*core.Request)) {
 	var fire func(r *core.Request)
 	fire = func(r *core.Request) {
+		e.arrived++
 		deliver(r)
 		if next := src.Next(); next != nil {
 			e.q.Schedule(next.Arrival, func() { fire(next) })
@@ -247,6 +309,7 @@ func (e *engine) runOpen(d core.Device, s core.Scheduler, src workload.Source) {
 		now := e.q.Now()
 		// Ingest every request that has arrived by `now`.
 		for next != nil && next.Arrival <= now {
+			e.arrived++
 			s.Add(next)
 			if e.p != nil {
 				e.p.Observe(ProbeEvent{Kind: EventArrive, Time: next.Arrival, Req: next, Queue: s.Len()})
@@ -307,6 +370,7 @@ func (e *engine) runClosed(d core.Device, src workload.Source) {
 	}
 	var issue func(r *core.Request)
 	issue = func(r *core.Request) {
+		e.arrived++
 		now := e.q.Now()
 		r.Arrival = now
 		r.Start = now

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"memsim/internal/core"
@@ -32,6 +33,34 @@ type Context struct {
 	// ProgressEvery is the completion interval between OnProgress calls;
 	// zero or negative means 1000.
 	ProgressEvery int
+	// Ctx, when non-nil, makes the run cancellable: the event loop polls
+	// Ctx.Done() every CancelEvery events and, once cancelled, stops
+	// dispatching, finalizes normally, and marks the Result Cancelled.
+	// A nil Ctx (or context.Background, whose Done channel is nil) keeps
+	// the poll-free fast path, so uncancellable runs stay byte-identical
+	// to runs predating cancellation support.
+	Ctx context.Context
+	// CancelEvery is the event interval between cancellation polls; zero
+	// or negative selects DefaultCancelEvery. Smaller values tighten
+	// cancellation latency at a (tiny) per-event cost.
+	CancelEvery int
+}
+
+// DefaultCancelEvery is the event interval between cancellation polls
+// when Context.CancelEvery is unset: frequent enough that cancellation
+// lands within microseconds of wall-clock, sparse enough that the hot
+// loop's cost is dominated by event dispatch, not polling.
+const DefaultCancelEvery = 1024
+
+// done returns the cancellation channel the event loop polls: nil for a
+// nil Context, a nil Ctx, or a Ctx that can never be cancelled
+// (context.Background reports a nil Done channel), all of which keep
+// the poll-free fast path.
+func (c *Context) done() <-chan struct{} {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Done()
 }
 
 // progress reports one completion, firing OnProgress on interval
@@ -74,6 +103,17 @@ type Options struct {
 	// byte-identical to an unprobed run. Probes with run-scoped state
 	// (PhaseCollector) are reset alongside the device and scheduler.
 	Probe Probe
+	// Check enables run-time self-verification: the engine attaches an
+	// engine-owned InvariantProbe (composed after any declared Probe) and
+	// panics at finalize on any violation — request conservation, event
+	// clock monotonicity, negative phase times, breakdown reconciliation
+	// drift beyond 1e-9, invalid request classes. Violations indicate a
+	// simulation bug, so they follow the EventQueue convention of
+	// panicking rather than returning an error; the runner converts the
+	// panic into the job's Err. Probe attachment is behavior-neutral
+	// (golden-equivalence discipline), so a clean checked run produces
+	// byte-identical results to an unchecked one.
+	Check bool
 }
 
 // Result summarizes a run. Response time (queue + service) and its
@@ -94,6 +134,11 @@ type Result struct {
 	Busy float64
 	// Elapsed is the completion time of the last request in ms.
 	Elapsed float64
+	// Cancelled reports that Context.Ctx was cancelled (deadline,
+	// interrupt) before the run finished. The Result is a well-formed
+	// partial: every statistic covers the completions that happened
+	// before the stop, and Elapsed is the simulated time reached.
+	Cancelled bool
 
 	// The fault-injection counters below cover the entire run, warmup
 	// included — they describe the run's fault activity, not the measured

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,6 +86,12 @@ func (t *Trace) Clip(n int) *Trace {
 func (t *Trace) Validate(capacity int64) error {
 	prev := 0.0
 	for i, r := range t.Records {
+		// NaN compares false against everything, so the explicit
+		// finiteness check must come first or NaN times would sail
+		// through the ordering test and panic the replay engine.
+		if math.IsNaN(r.TimeMs) || math.IsInf(r.TimeMs, 0) {
+			return fmt.Errorf("trace %s: record %d has non-finite time %v", t.Name, i, r.TimeMs)
+		}
 		if r.TimeMs < prev {
 			return fmt.Errorf("trace %s: record %d time %g precedes %g", t.Name, i, r.TimeMs, prev)
 		}
@@ -198,6 +205,12 @@ func Read(r io.Reader, name string) (*Trace, error) {
 		tm, err := strconv.ParseFloat(f[0], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace %s:%d: bad time %q: %v", name, lineNo, f[0], err)
+		}
+		// ParseFloat accepts "NaN" and "Inf", which no valid trace
+		// contains and which would corrupt every downstream time
+		// computation; reject them at the parse boundary.
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return nil, fmt.Errorf("trace %s:%d: non-finite time %q", name, lineNo, f[0])
 		}
 		var op core.Op
 		switch f[1] {
