@@ -1,0 +1,171 @@
+// Command benchrun runs the repository's benchmark suites and writes
+// their results as machine-readable JSON (the BENCH_10.json format),
+// the input side of the benchmark-regression harness (cmd/benchgate
+// compares two such files).
+//
+// Usage:
+//
+//	go run ./cmd/benchrun -out BENCH_10.json          # full profile
+//	go run ./cmd/benchrun -quick -out /tmp/cur.json   # CI-sized
+//
+// The suites cover the engine hot path (./internal/sim BenchmarkRun*,
+// BenchmarkPhaseCollector, device Access), the schedulers at queue
+// depths 8/64/512 (BenchmarkSchedNext, every algorithm), the stats
+// backends (./internal/stats Dist/Sketch/Sample benches), and the
+// million-request end-to-end runs (BenchmarkEngineMillion; -quick
+// drops them to 100k requests, which also changes the subbench name so
+// the gate never compares across scales). All suites run with
+// -benchmem, so every record carries ns/op, B/op and allocs/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Name is the benchmark name including subbenchmarks, with the
+	// GOMAXPROCS suffix stripped (BenchmarkSchedNext/SPTF/depth=8).
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages cover.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// triplet.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_10.json document.
+type File struct {
+	// GoVersion records the toolchain that produced the numbers.
+	GoVersion string `json:"go_version"`
+	// Quick marks a CI-sized run (shorter benchtime, -short million
+	// benches); quick and full numbers are not comparable.
+	Quick bool `json:"quick"`
+	// Benchmarks holds every measurement, sorted by package then name.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	pkg     string
+	pattern string
+	// benchtime overrides the quick/full default when non-empty.
+	benchtime string
+	short     bool
+}
+
+// benchLine matches one line of `go test -bench -benchmem` output.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_10.json", "output JSON path")
+	quick := flag.Bool("quick", false, "CI-sized run: shorter benchtime, 100k-request EngineMillion")
+	flag.Parse()
+
+	bt := "1s"
+	schedBT := "200x"
+	if *quick {
+		bt = "0.2s"
+		schedBT = "50x"
+	}
+	suites := []suite{
+		{pkg: "./internal/sim", pattern: "^(BenchmarkRunNilProbe|BenchmarkRunDiscard|BenchmarkRunPhaseStats|BenchmarkPhaseCollector|BenchmarkMEMSAccess|BenchmarkDiskAccess)$", benchtime: bt},
+		{pkg: "./internal/sim", pattern: "^BenchmarkEngineMillion$", benchtime: "1x", short: *quick},
+		{pkg: ".", pattern: "^BenchmarkSchedNext$", benchtime: schedBT},
+		{pkg: "./internal/stats", pattern: "^(BenchmarkDistAdd|BenchmarkSketchPercentile|BenchmarkSamplePercentileRepeated)$", benchtime: bt},
+	}
+
+	doc := File{GoVersion: runtime.Version(), Quick: *quick}
+	for _, s := range suites {
+		rs, err := runSuite(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s %q: %v\n", s.pkg, s.pattern, err)
+			os.Exit(1)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rs...)
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		a, b := doc.Benchmarks[i], doc.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchrun: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// runSuite executes one go test -bench invocation and parses its
+// benchmark lines.
+func runSuite(s suite) ([]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", s.pattern, "-benchmem",
+		"-benchtime", s.benchtime}
+	if s.short {
+		args = append(args, "-short")
+	}
+	args = append(args, s.pkg)
+	fmt.Fprintf(os.Stderr, "benchrun: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, outBuf)
+	}
+	pkg := packageName(string(outBuf), s.pkg)
+	var rs []Result
+	for _, line := range strings.Split(string(outBuf), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Result{Package: pkg, Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", outBuf)
+	}
+	return rs, nil
+}
+
+// packageName extracts the import path from the trailing "ok <pkg> ..."
+// line, falling back to the relative path.
+func packageName(output, fallback string) string {
+	for _, line := range strings.Split(output, "\n") {
+		if f := strings.Fields(line); len(f) >= 2 && f[0] == "ok" {
+			return f[1]
+		}
+	}
+	return fallback
+}

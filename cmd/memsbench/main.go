@@ -26,6 +26,12 @@
 //	memsbench -run rebuild -member-sched Priority
 //	                              # class-aware volume member queues during rebuild
 //	memsbench -check              # simulator invariant checking on every run
+//	memsbench -sketch             # bounded quantile sketches: O(1) stats
+//	                              # memory at any request count, p95/p99
+//	                              # within ±1% of exact
+//	memsbench -requests 1000000 -sketch -run phases
+//	                              # a million-request run that would
+//	                              # otherwise retain every observation
 //	memsbench -timeout 30s        # per-job wall-clock deadline
 //	memsbench -run mttdl -checkpoint mttdl.ckpt
 //	                              # resumable Monte-Carlo trials (byte-identical
@@ -98,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write request-lifecycle JSONL (one event per line) to this file; forces -parallel 1 so event order is deterministic")
 		timeout    = fs.Duration("timeout", 0, "per-job wall-clock deadline; a job past it fails without killing the batch (0: none)")
 		check      = fs.Bool("check", false, "enable simulator invariant self-checking on every run (conservation, clock monotonicity, breakdown reconciliation)")
+		sketch     = fs.Bool("sketch", false, "use bounded quantile sketches for percentile statistics (O(1) memory at any request count; p95/p99 within ±1%)")
 		checkpoint = fs.String("checkpoint", "", "atomic progress checkpoint for resumable experiments (mttdl): interrupted trials resume byte-identically")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -159,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ctx := &runner.Context{Workers: *parallel, Ctx: sigCtx, Timeout: *timeout, Check: *check}
+	ctx := &runner.Context{Workers: *parallel, Ctx: sigCtx, Timeout: *timeout, Check: *check, Sketch: *sketch}
 	var (
 		traceFile  *os.File
 		traceProbe *sim.JSONLProbe

@@ -78,12 +78,13 @@ type Job struct {
 	err  error
 	done bool
 
-	// ctx and check are the batch lifecycle policy the pool installs
-	// before executing the job: the job's cancellation context (batch
-	// signal plus per-job deadline) and whether invariant checking was
-	// requested.
-	ctx   context.Context
-	check bool
+	// ctx, check and sketch are the batch lifecycle policy the pool
+	// installs before executing the job: the job's cancellation context
+	// (batch signal plus per-job deadline), whether invariant checking
+	// was requested, and whether bounded quantile sketches were.
+	ctx    context.Context
+	check  bool
+	sketch bool
 }
 
 // Ctx returns the job's lifecycle context: the batch Context.Ctx bounded
@@ -103,12 +104,15 @@ func (j *Job) Ctx() context.Context {
 // deadline.
 func (j *Job) SimContext() *sim.Context { return &sim.Context{Ctx: j.Ctx()} }
 
-// SimOptions folds the batch's lifecycle policy into opts — today just
-// Context.Check — so Custom bodies honor `-check` the same way
-// declarative jobs do.
+// SimOptions folds the batch's execution policy into opts —
+// Context.Check and Context.Sketch — so Custom bodies honor `-check`
+// and `-sketch` the same way declarative jobs do.
 func (j *Job) SimOptions(opts sim.Options) sim.Options {
 	if j.check {
 		opts.Check = true
+	}
+	if j.sketch {
+		opts.Sketch = true
 	}
 	return opts
 }
@@ -146,16 +150,19 @@ func (j *Job) Value() any {
 // through Ctx/SimContext/SimOptions; declarative runs thread them
 // directly, and a run stopped by cancellation fails the job with the
 // context's error instead of publishing a partial Result.
-func (j *Job) run(probe sim.Probe, jctx context.Context, check bool) (err error) {
+func (j *Job) run(probe sim.Probe, jctx context.Context, check, sketch bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job %q: panic: %v", j.Label, r)
 		}
 	}()
-	j.ctx, j.check = jctx, check
+	j.ctx, j.check, j.sketch = jctx, check, sketch
 	opts := j.Options
 	if check {
 		opts.Check = true
+	}
+	if sketch {
+		opts.Sketch = true
 	}
 	if probe != nil {
 		labelled := sim.WithRun(probe, j.Label)
@@ -259,6 +266,11 @@ type Context struct {
 	// every declarative job; Custom bodies opt in by building their
 	// options through Job.SimOptions.
 	Check bool
+	// Sketch switches every declarative job's percentile aggregates to
+	// the bounded quantile sketch (sim.Options.Sketch), keeping stats
+	// memory O(1) at any request count; Custom bodies opt in by building
+	// their options through Job.SimOptions.
+	Sketch bool
 }
 
 // Run executes every job and returns aggregate metrics. Jobs run on a
@@ -299,9 +311,10 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 					base    = context.Background()
 					timeout time.Duration
 					check   bool
+					sketch  bool
 				)
 				if c != nil {
-					probe, timeout, check = c.Probe, c.Timeout, c.Check
+					probe, timeout, check, sketch = c.Probe, c.Timeout, c.Check, c.Sketch
 					if c.Ctx != nil {
 						base = c.Ctx
 					}
@@ -310,14 +323,14 @@ func (c *Context) Run(jobs []*Job) (Summary, error) {
 				if base.Err() != nil {
 					// The batch is cancelled: skip jobs that have not
 					// started rather than burning their setup cost.
-					j.ctx, j.check = base, check
+					j.ctx, j.check, j.sketch = base, check, sketch
 					err = fmt.Errorf("job %q: %w", j.Label, base.Err())
 				} else {
 					jctx, cancel := base, func() {}
 					if timeout > 0 {
 						jctx, cancel = context.WithTimeout(base, timeout)
 					}
-					err = j.run(probe, jctx, check)
+					err = j.run(probe, jctx, check, sketch)
 					cancel()
 				}
 				j.err = err

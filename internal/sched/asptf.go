@@ -47,8 +47,11 @@ func (s *ASPTF) Add(r *core.Request) { s.q = append(s.q, r) }
 // Len implements core.Scheduler.
 func (s *ASPTF) Len() int { return len(s.q) }
 
-// Reset implements core.Scheduler.
-func (s *ASPTF) Reset() { s.q = nil }
+// Reset implements core.Scheduler, keeping queue capacity like FCFS.
+func (s *ASPTF) Reset() {
+	clear(s.q)
+	s.q = s.q[:0]
+}
 
 // Next implements core.Scheduler.
 func (s *ASPTF) Next(d core.Device, now float64) *core.Request {

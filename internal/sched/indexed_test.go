@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"memsim/internal/core"
+	"memsim/internal/mems"
+)
+
+// countingCost wraps a cost model and counts evaluations, so tests can
+// pin the indexed variants' bounded per-dispatch work.
+type countingCost struct {
+	calls int
+	inner core.CostModel
+}
+
+func (c *countingCost) cost(d core.Device, r *core.Request, now float64) float64 {
+	c.calls++
+	return c.inner(d, r, now)
+}
+
+// TestIndexedSortedInsertion pins the LBN-sorted queue invariant,
+// including stable ordering among equal LBNs (FIFO by arrival).
+func TestIndexedSortedInsertion(t *testing.T) {
+	s := NewIndexedSPTF()
+	rng := rand.New(rand.NewSource(7))
+	var want []*core.Request
+	for i := 0; i < 200; i++ {
+		r := req(int64(rng.Intn(40))) // few distinct LBNs force ties
+		r.Arrival = float64(i)
+		s.Add(r)
+		want = append(want, r)
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	prev := s.q[0]
+	for _, r := range s.q[1:] {
+		if r.LBN < prev.LBN {
+			t.Fatalf("queue not LBN-sorted: %d after %d", r.LBN, prev.LBN)
+		}
+		if r.LBN == prev.LBN && r.Arrival < prev.Arrival {
+			t.Fatalf("equal-LBN requests reordered: arrival %g after %g",
+				r.Arrival, prev.Arrival)
+		}
+		prev = r
+	}
+}
+
+// TestIndexedFullWindowMatchesSPTF checks the correctness anchor: with
+// a window at least the queue depth, the indexed variant's pick always
+// attains the same minimum cost a full SPTF scan would (picks may
+// differ only on exact cost ties, where both disciplines are
+// individually deterministic).
+func TestIndexedFullWindowMatchesSPTF(t *testing.T) {
+	d := mems.MustDevice(mems.DefaultConfig())
+	rng := rand.New(rand.NewSource(21))
+	s := NewIndexedCost("wide", core.AccessCost, 512)
+	var pending []*core.Request
+	for i := 0; i < 64; i++ {
+		r := req(rng.Int63n(d.Capacity() - 8))
+		s.Add(r)
+		pending = append(pending, r)
+	}
+	now := 0.0
+	for s.Len() > 0 {
+		// Brute-force the minimum cost over every pending request before
+		// the scheduler dispatches (costs depend only on device state,
+		// which Next does not touch).
+		min := -1.0
+		for _, r := range pending {
+			if c := core.AccessCost(d, r, now); min < 0 || c < min {
+				min = c
+			}
+		}
+		r := s.Next(d, now)
+		if got := core.AccessCost(d, r, now); got != min {
+			t.Fatalf("indexed pick cost %g, full-scan minimum %g", got, min)
+		}
+		for i, p := range pending {
+			if p == r {
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
+		now += d.Access(r, now)
+	}
+}
+
+// TestIndexedWindowBoundsCostCalls pins the point of the index: one
+// dispatch evaluates the cost model at most 2·window times however
+// deep the queue is.
+func TestIndexedWindowBoundsCostCalls(t *testing.T) {
+	d := mems.MustDevice(mems.DefaultConfig())
+	const window, depth = 8, 512
+	cc := &countingCost{inner: core.AccessCost}
+	s := NewIndexedCost("bounded", cc.cost, window)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < depth; i++ {
+		s.Add(req(rng.Int63n(d.Capacity() - 8)))
+	}
+	for i := 0; i < 100; i++ {
+		cc.calls = 0
+		if s.Next(d, 0) == nil {
+			t.Fatal("queue drained early")
+		}
+		if cc.calls > 2*window {
+			t.Fatalf("dispatch %d evaluated the cost model %d times, want ≤ %d",
+				i, cc.calls, 2*window)
+		}
+	}
+}
+
+// TestIndexedDeterminism replays the same add/dispatch interleaving
+// into two instances and requires identical dispatch sequences.
+func TestIndexedDeterminism(t *testing.T) {
+	d := mems.MustDevice(mems.DefaultConfig())
+	run := func() []int64 {
+		d.Reset()
+		s := NewIndexedSettleAware()
+		rng := rand.New(rand.NewSource(99))
+		var out []int64
+		now := 0.0
+		for i := 0; i < 300; i++ {
+			s.Add(req(rng.Int63n(d.Capacity() - 8)))
+			if i%3 == 2 {
+				r := s.Next(d, now)
+				out = append(out, r.LBN)
+				now += d.Access(r, now)
+			}
+		}
+		for s.Len() > 0 {
+			r := s.Next(d, now)
+			out = append(out, r.LBN)
+			now += d.Access(r, now)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("dispatch counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch %d differs: LBN %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestIndexedConstructorPanics pins the constructor contract.
+func TestIndexedConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil cost":    func() { NewIndexedCost("x", nil, 4) },
+		"zero window": func() { NewIndexedCost("x", core.AccessCost, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

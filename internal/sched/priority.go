@@ -61,8 +61,11 @@ func (p *Priority) Add(r *core.Request) { p.q = append(p.q, r) }
 // Len implements core.Scheduler.
 func (p *Priority) Len() int { return len(p.q) }
 
-// Reset implements core.Scheduler.
-func (p *Priority) Reset() { p.q = nil }
+// Reset implements core.Scheduler, keeping queue capacity like FCFS.
+func (p *Priority) Reset() {
+	clear(p.q)
+	p.q = p.q[:0]
+}
 
 // band maps a request to its service band at time now: 0 degraded-read
 // (and anything age-promoted), 1 foreground, 2 rebuild.

@@ -19,8 +19,10 @@ import (
 )
 
 // New constructs a scheduler by algorithm name: one of the paper's four
-// ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF") or a cost-model extension
-// ("SettleAware", "Priority"). It returns an error for unknown names.
+// ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF"), a cost-model extension
+// ("SettleAware", "Priority"), or an indexed large-queue variant
+// ("SPTF_IDX", "SettleAware_IDX"). It returns an error for unknown
+// names.
 func New(name string) (core.Scheduler, error) {
 	switch name {
 	case "FCFS":
@@ -35,6 +37,10 @@ func New(name string) (core.Scheduler, error) {
 		return NewSettleAware(), nil
 	case "Priority":
 		return NewPriority(), nil
+	case "SPTF_IDX":
+		return NewIndexedSPTF(), nil
+	case "SettleAware_IDX":
+		return NewIndexedSettleAware(), nil
 	default:
 		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
 	}
@@ -45,9 +51,11 @@ func New(name string) (core.Scheduler, error) {
 // extensions; see AllNames.
 func Names() []string { return []string{"FCFS", "SSTF_LBN", "C-LOOK", "SPTF"} }
 
-// AllNames lists every name New accepts: the paper's four plus the
-// cost-model extensions.
-func AllNames() []string { return append(Names(), "SettleAware", "Priority") }
+// AllNames lists every name New accepts: the paper's four, the
+// cost-model extensions, and the indexed large-queue variants.
+func AllNames() []string {
+	return append(Names(), "SettleAware", "Priority", "SPTF_IDX", "SettleAware_IDX")
+}
 
 // FCFS services requests strictly in arrival order. It is the reference
 // point that saturates first in Figs. 5 and 6.
@@ -67,8 +75,13 @@ func (f *FCFS) Add(r *core.Request) { f.q = append(f.q, r) }
 // Len implements core.Scheduler.
 func (f *FCFS) Len() int { return len(f.q) }
 
-// Reset implements core.Scheduler.
-func (f *FCFS) Reset() { f.q = nil }
+// Reset implements core.Scheduler. The backing array is kept (elements
+// cleared so serviced requests are not pinned) so a reused scheduler
+// does not regrow its queue from scratch every run.
+func (f *FCFS) Reset() {
+	clear(f.q)
+	f.q = f.q[:0]
+}
 
 // Next implements core.Scheduler.
 func (f *FCFS) Next(core.Device, float64) *core.Request {
@@ -124,8 +137,11 @@ func (s *SSTF) Add(r *core.Request) { s.q = append(s.q, r) }
 // Len implements core.Scheduler.
 func (s *SSTF) Len() int { return len(s.q) }
 
-// Reset implements core.Scheduler.
-func (s *SSTF) Reset() { s.q, s.pos = nil, 0 }
+// Reset implements core.Scheduler, keeping queue capacity like FCFS.
+func (s *SSTF) Reset() {
+	clear(s.q)
+	s.q, s.pos = s.q[:0], 0
+}
 
 // Next implements core.Scheduler.
 func (s *SSTF) Next(core.Device, float64) *core.Request {
@@ -175,8 +191,11 @@ func (c *CLOOK) Add(r *core.Request) { c.q = append(c.q, r) }
 // Len implements core.Scheduler.
 func (c *CLOOK) Len() int { return len(c.q) }
 
-// Reset implements core.Scheduler.
-func (c *CLOOK) Reset() { c.q, c.pos = nil, 0 }
+// Reset implements core.Scheduler, keeping queue capacity like FCFS.
+func (c *CLOOK) Reset() {
+	clear(c.q)
+	c.q, c.pos = c.q[:0], 0
+}
 
 // Next implements core.Scheduler.
 func (c *CLOOK) Next(core.Device, float64) *core.Request {
@@ -257,8 +276,11 @@ func (s *SPTF) Add(r *core.Request) { s.q = append(s.q, r) }
 // Len implements core.Scheduler.
 func (s *SPTF) Len() int { return len(s.q) }
 
-// Reset implements core.Scheduler.
-func (s *SPTF) Reset() { s.q = nil }
+// Reset implements core.Scheduler, keeping queue capacity like FCFS.
+func (s *SPTF) Reset() {
+	clear(s.q)
+	s.q = s.q[:0]
+}
 
 // Next implements core.Scheduler.
 func (s *SPTF) Next(d core.Device, now float64) *core.Request {

@@ -59,6 +59,9 @@ func newEngine(ctx *Context, opts Options) *engine {
 		e.inj.Reset()
 	}
 	resetProbe(e.p)
+	if opts.Sketch {
+		applySketch(e.p)
+	}
 	if opts.Check {
 		e.check = NewInvariantProbe()
 		if e.p == nil {
@@ -277,17 +280,37 @@ func (e *engine) complete(now float64, r *core.Request, dev, qlen int, resp, svc
 // so simultaneous arrivals retain stream order and the heap holds at
 // most one pending arrival. Eager regimes (multi, volume) use this;
 // the open single-device regime ingests lazily in runOpen instead.
+//
+// The chain carries its state in a run-long struct with a single stored
+// fire func: because at most one arrival event is ever pending, each
+// link can reuse the same func value instead of allocating a fresh
+// closure per request (the engine's allocation diet).
 func (e *engine) chainArrivals(src workload.Source, deliver func(*core.Request)) {
-	var fire func(r *core.Request)
-	fire = func(r *core.Request) {
-		e.arrived++
-		deliver(r)
-		if next := src.Next(); next != nil {
-			e.q.Schedule(next.Arrival, func() { fire(next) })
-		}
-	}
+	c := &arrivalChain{e: e, src: src, deliver: deliver}
+	c.fireFn = c.fire
 	if first := src.Next(); first != nil {
-		e.q.Schedule(first.Arrival, func() { fire(first) })
+		c.next = first
+		e.q.Schedule(first.Arrival, c.fireFn)
+	}
+}
+
+// arrivalChain is chainArrivals' run-long state: the pending request and
+// the one reusable arrival callback.
+type arrivalChain struct {
+	e       *engine
+	src     workload.Source
+	deliver func(*core.Request)
+	next    *core.Request
+	fireFn  func()
+}
+
+func (c *arrivalChain) fire() {
+	r := c.next
+	c.e.arrived++
+	c.deliver(r)
+	if nx := c.src.Next(); nx != nil {
+		c.next = nx
+		c.e.q.Schedule(nx.Arrival, c.fireFn)
 	}
 }
 
@@ -300,54 +323,81 @@ func (e *engine) chainArrivals(src workload.Source, deliver func(*core.Request))
 // engine alternates dispatch→completion events, pumps the queue after
 // each, and sleeps until the next arrival when idle.
 func (e *engine) runOpen(d core.Device, s core.Scheduler, src workload.Source) {
-	next := src.Next()
-	var pump func()
-	pump = func() {
-		if e.stopped {
-			return
-		}
-		now := e.q.Now()
-		// Ingest every request that has arrived by `now`.
-		for next != nil && next.Arrival <= now {
-			e.arrived++
-			s.Add(next)
-			if e.p != nil {
-				e.p.Observe(ProbeEvent{Kind: EventArrive, Time: next.Arrival, Req: next, Queue: s.Len()})
-			}
-			next = src.Next()
-		}
-		if s.Len() == 0 {
-			if next != nil {
-				// Idle until the next arrival.
-				e.q.Schedule(next.Arrival, pump)
-			}
-			return // else drained: the queue empties and the run ends
-		}
-		qlen := s.Len()
-		r := s.Next(d, now)
-		if r.Requeues == 0 {
-			r.Start = now
-		}
-		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen, Class: r.Class})
-		}
-		svc, _, again := e.serveVisit(d, r, r, 0, now)
-		e.res.Busy += svc
-		done := now + svc
-		e.q.Schedule(done, func() {
-			if again {
-				requeue(s, r)
-				if e.p != nil {
-					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: done, Req: r, Queue: s.Len()})
-				}
-			} else {
-				r.Finish = done
-				e.complete(done, r, 0, qlen, r.ResponseTime(), r.ServiceTime(), true, nil)
-			}
-			pump()
-		})
+	o := &openRun{e: e, d: d, s: s, src: src, next: src.Next()}
+	o.pumpFn = o.pump
+	o.doneFn = o.finish
+	e.q.Schedule(0, o.pumpFn)
+}
+
+// openRun is runOpen's run-long state. The regime alternates
+// dispatch→completion with at most one service in flight, so the
+// completion event's parameters (request, queue length, finish time,
+// requeue flag) live here and both callbacks are allocated once per run
+// instead of once per dispatch.
+type openRun struct {
+	e    *engine
+	d    core.Device
+	s    core.Scheduler
+	src  workload.Source
+	next *core.Request
+
+	// In-flight dispatch, consumed by finish.
+	r     *core.Request
+	qlen  int
+	done  float64
+	again bool
+
+	pumpFn, doneFn func()
+}
+
+func (o *openRun) pump() {
+	e := o.e
+	if e.stopped {
+		return
 	}
-	e.q.Schedule(0, pump)
+	now := e.q.Now()
+	// Ingest every request that has arrived by `now`.
+	for o.next != nil && o.next.Arrival <= now {
+		e.arrived++
+		o.s.Add(o.next)
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: o.next.Arrival, Req: o.next, Queue: o.s.Len()})
+		}
+		o.next = o.src.Next()
+	}
+	if o.s.Len() == 0 {
+		if o.next != nil {
+			// Idle until the next arrival.
+			e.q.Schedule(o.next.Arrival, o.pumpFn)
+		}
+		return // else drained: the queue empties and the run ends
+	}
+	qlen := o.s.Len()
+	r := o.s.Next(o.d, now)
+	if r.Requeues == 0 {
+		r.Start = now
+	}
+	if e.p != nil {
+		e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: qlen, Class: r.Class})
+	}
+	svc, _, again := e.serveVisit(o.d, r, r, 0, now)
+	e.res.Busy += svc
+	o.r, o.qlen, o.done, o.again = r, qlen, now+svc, again
+	e.q.Schedule(o.done, o.doneFn)
+}
+
+func (o *openRun) finish() {
+	e := o.e
+	if o.again {
+		requeue(o.s, o.r)
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: o.done, Req: o.r, Queue: o.s.Len()})
+		}
+	} else {
+		o.r.Finish = o.done
+		e.complete(o.done, o.r, 0, o.qlen, o.r.ResponseTime(), o.r.ServiceTime(), true, nil)
+	}
+	o.pump()
 }
 
 // ─── Closed regime (RunClosed) ─────────────────────────────────────────
@@ -362,51 +412,79 @@ func (e *engine) runOpen(d core.Device, s core.Scheduler, src workload.Source) {
 // requeue budget in place.
 func (e *engine) runClosed(d core.Device, src workload.Source) {
 	think, _ := src.(workload.Thinker)
-	delay := func() float64 {
-		if think == nil {
-			return 0
-		}
-		return think.ThinkMs()
-	}
-	var issue func(r *core.Request)
-	issue = func(r *core.Request) {
-		e.arrived++
-		now := e.q.Now()
-		r.Arrival = now
-		r.Start = now
-		if e.p != nil {
-			// Closed regime: arrival and dispatch coincide; the "queue"
-			// is the request itself.
-			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1, Class: r.Class})
-		}
-		t := now
-		total := 0.0
-		for {
-			svc, _, again := e.serveVisit(d, r, r, 0, t)
-			t += svc
-			total += svc
-			e.res.Busy += svc
-			if !again {
-				break
-			}
-			if e.p != nil {
-				e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: t, Req: r, Queue: 1})
-			}
-		}
-		e.q.Schedule(t, func() {
-			r.Finish = t
-			e.complete(t, r, 0, -1, total, total, true, nil)
-			if e.stopped {
-				return
-			}
-			if next := src.Next(); next != nil {
-				e.q.Schedule(e.q.Now()+delay(), func() { issue(next) })
-			}
-		})
-	}
+	c := &closedRun{e: e, d: d, src: src, think: think}
+	c.issueFn = c.issue
+	c.doneFn = c.finish
 	if first := src.Next(); first != nil {
-		e.q.Schedule(delay(), func() { issue(first) })
+		c.r = first
+		e.q.Schedule(c.delay(), c.issueFn)
+	}
+}
+
+// closedRun is runClosed's run-long state: exactly one request is in
+// play at a time (issue→completion→next issue), so the pending request
+// and its accumulated times live here and the two callbacks are
+// allocated once per run instead of twice per request.
+type closedRun struct {
+	e     *engine
+	d     core.Device
+	src   workload.Source
+	think workload.Thinker
+
+	// The request being issued or completed, and its visit totals.
+	r        *core.Request
+	t, total float64
+
+	issueFn, doneFn func()
+}
+
+func (c *closedRun) delay() float64 {
+	if c.think == nil {
+		return 0
+	}
+	return c.think.ThinkMs()
+}
+
+func (c *closedRun) issue() {
+	e, r := c.e, c.r
+	e.arrived++
+	now := e.q.Now()
+	r.Arrival = now
+	r.Start = now
+	if e.p != nil {
+		// Closed regime: arrival and dispatch coincide; the "queue"
+		// is the request itself.
+		e.p.Observe(ProbeEvent{Kind: EventArrive, Time: now, Req: r, Queue: 1})
+		e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Req: r, Queue: 1, Class: r.Class})
+	}
+	t := now
+	total := 0.0
+	for {
+		svc, _, again := e.serveVisit(c.d, r, r, 0, t)
+		t += svc
+		total += svc
+		e.res.Busy += svc
+		if !again {
+			break
+		}
+		if e.p != nil {
+			e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: t, Req: r, Queue: 1})
+		}
+	}
+	c.t, c.total = t, total
+	e.q.Schedule(t, c.doneFn)
+}
+
+func (c *closedRun) finish() {
+	e, r := c.e, c.r
+	r.Finish = c.t
+	e.complete(c.t, r, 0, -1, c.total, c.total, true, nil)
+	if e.stopped {
+		return
+	}
+	if next := c.src.Next(); next != nil {
+		c.r = next
+		e.q.Schedule(e.q.Now()+c.delay(), c.issueFn)
 	}
 }
 
@@ -428,8 +506,9 @@ type memberSet struct {
 }
 
 // newMemberSet resets the member devices and schedulers and sizes the
-// attribution slices.
-func newMemberSet(devs []core.Device, scheds []core.Scheduler, p Probe) *memberSet {
+// attribution slices. With Options.Sketch the per-member phase
+// aggregates use the bounded backend like the run-level collector.
+func newMemberSet(devs []core.Device, scheds []core.Scheduler, e *engine) *memberSet {
 	for i := range devs {
 		devs[i].Reset()
 		scheds[i].Reset()
@@ -440,8 +519,13 @@ func newMemberSet(devs []core.Device, scheds []core.Scheduler, p Probe) *memberS
 		busy:    make([]bool, len(devs)),
 		members: make([]MemberResult, len(devs)),
 	}
-	if findPhaseCollector(p) != nil {
+	if findPhaseCollector(e.p) != nil {
 		ms.phases = make([]PhaseStats, len(devs))
+		if e.opts.Sketch {
+			for i := range ms.phases {
+				ms.phases[i].useSketch()
+			}
+		}
 	}
 	return ms
 }

@@ -46,7 +46,7 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 		return Result{}, fmt.Errorf("sim: RunMulti needs a workload source")
 	}
 	e := newEngine(ctx, opts)
-	ms := newMemberSet(devs, scheds, e.p)
+	ms := newMemberSet(devs, scheds, e)
 	e.runMulti(ms, route, src)
 	e.loop()
 	e.finalize()
@@ -58,73 +58,120 @@ func RunMulti(ctx *Context, devs []core.Device, scheds []core.Scheduler, route R
 // arrival is routed to one member queue, served through the shared
 // visit path (injector included), and completed per volume-level
 // request through the shared completion path.
+//
+// Each member has at most one service in flight (ms.busy), so the
+// completion event's parameters live in a per-member slot and the
+// completion/tally callbacks are allocated once per member at setup
+// instead of once per dispatch (the engine's allocation diet).
 func (e *engine) runMulti(ms *memberSet, route Router, src workload.Source) {
-	var dispatch func(i int)
-	dispatch = func(i int) {
-		if ms.busy[i] || e.stopped {
-			return
-		}
-		now := e.q.Now()
-		qlen := ms.scheds[i].Len()
-		r := ms.scheds[i].Next(ms.devs[i], now)
-		if r == nil {
-			return
-		}
-		ms.busy[i] = true
-		if r.Requeues == 0 {
-			r.Start = now
-		}
-		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen, Class: r.Class})
-		}
-		svc, _, again := e.serveVisit(ms.devs[i], r, r, i, now)
-		done := now + svc
-		r.Finish = done
-		e.res.Busy += svc
-		ms.members[i].Busy += svc
-		e.q.Schedule(done, func() {
-			ms.busy[i] = false
-			if again {
-				requeue(ms.scheds[i], r)
-				if e.p != nil {
-					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: done, Dev: i, Req: r,
-						Queue: ms.scheds[i].Len()})
-				}
-			} else {
-				e.complete(done, r, i, qlen, r.ResponseTime(), r.ServiceTime(), true, func(measured bool) {
-					ms.members[i].Requests++
-					if ms.phases != nil && measured {
-						ms.phases[i].add(r.Phases, r.Class)
-					}
-				})
-			}
-			dispatch(i)
-		})
+	m := &multiRun{e: e, ms: ms, route: route, per: make([]memberDispatch, len(ms.devs))}
+	for i := range m.per {
+		md := &m.per[i]
+		md.m, md.i = m, i
+		md.doneFn = md.finish
+		md.onDone = md.tally
 	}
+	e.chainArrivals(src, m.deliver)
+}
 
-	e.chainArrivals(src, func(r *core.Request) {
-		i, devReq := route(r)
-		if i < 0 || i >= len(ms.devs) {
-			e.runErr = fmt.Errorf("sim: router sent request to device %d of %d", i, len(ms.devs))
-			e.stopped = true
-			return
-		}
-		// Routers stay total by clamping a request that would spill past
-		// a member or strip boundary; count the truncation.
-		if devReq.Blocks != r.Blocks {
-			e.res.ClampedRequests++
-		}
-		// The device request carries the volume request's arrival time so
-		// response accounting is end-to-end; the router may return r
-		// itself when no translation is needed.
-		devReq.Arrival = r.Arrival
-		ms.scheds[i].Add(devReq)
+// multiRun is runMulti's run-long state.
+type multiRun struct {
+	e     *engine
+	ms    *memberSet
+	route Router
+	per   []memberDispatch
+}
+
+// memberDispatch holds one member's in-flight completion state and its
+// two reusable callbacks.
+type memberDispatch struct {
+	m *multiRun
+	i int
+
+	r     *core.Request
+	qlen  int
+	done  float64
+	again bool
+
+	doneFn func()
+	onDone func(measured bool)
+}
+
+func (m *multiRun) deliver(r *core.Request) {
+	e, ms := m.e, m.ms
+	i, devReq := m.route(r)
+	if i < 0 || i >= len(ms.devs) {
+		e.runErr = fmt.Errorf("sim: router sent request to device %d of %d", i, len(ms.devs))
+		e.stopped = true
+		return
+	}
+	// Routers stay total by clamping a request that would spill past
+	// a member or strip boundary; count the truncation.
+	if devReq.Blocks != r.Blocks {
+		e.res.ClampedRequests++
+	}
+	// The device request carries the volume request's arrival time so
+	// response accounting is end-to-end; the router may return r
+	// itself when no translation is needed.
+	devReq.Arrival = r.Arrival
+	ms.scheds[i].Add(devReq)
+	if e.p != nil {
+		e.p.Observe(ProbeEvent{Kind: EventArrive, Time: r.Arrival, Dev: i, Req: devReq,
+			Queue: ms.scheds[i].Len()})
+	}
+	m.dispatch(i)
+}
+
+func (m *multiRun) dispatch(i int) {
+	e, ms := m.e, m.ms
+	if ms.busy[i] || e.stopped {
+		return
+	}
+	now := e.q.Now()
+	qlen := ms.scheds[i].Len()
+	r := ms.scheds[i].Next(ms.devs[i], now)
+	if r == nil {
+		return
+	}
+	ms.busy[i] = true
+	if r.Requeues == 0 {
+		r.Start = now
+	}
+	if e.p != nil {
+		e.p.Observe(ProbeEvent{Kind: EventDispatch, Time: now, Dev: i, Req: r, Queue: qlen, Class: r.Class})
+	}
+	svc, _, again := e.serveVisit(ms.devs[i], r, r, i, now)
+	done := now + svc
+	r.Finish = done
+	e.res.Busy += svc
+	ms.members[i].Busy += svc
+	md := &m.per[i]
+	md.r, md.qlen, md.done, md.again = r, qlen, done, again
+	e.q.Schedule(done, md.doneFn)
+}
+
+func (md *memberDispatch) finish() {
+	m, i := md.m, md.i
+	e, ms := m.e, m.ms
+	ms.busy[i] = false
+	if md.again {
+		requeue(ms.scheds[i], md.r)
 		if e.p != nil {
-			e.p.Observe(ProbeEvent{Kind: EventArrive, Time: r.Arrival, Dev: i, Req: devReq,
+			e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: md.done, Dev: i, Req: md.r,
 				Queue: ms.scheds[i].Len()})
 		}
-		dispatch(i)
-	})
+	} else {
+		e.complete(md.done, md.r, i, md.qlen, md.r.ResponseTime(), md.r.ServiceTime(), true, md.onDone)
+	}
+	m.dispatch(i)
+}
+
+func (md *memberDispatch) tally(measured bool) {
+	ms, i := md.m.ms, md.i
+	ms.members[i].Requests++
+	if ms.phases != nil && measured {
+		ms.phases[i].add(md.r.Phases, md.r.Class)
+	}
 }
 
 // ConcatRouter routes by address concatenation: device i holds the LBN

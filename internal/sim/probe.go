@@ -219,6 +219,22 @@ type PhaseStats struct {
 	ClassRequests [core.NumClasses]int
 }
 
+// useSketch flips every distribution to the bounded sketch backend
+// (stats.Dist.UseSketch): O(1) memory, percentile estimates within the
+// sketch's documented error bound. Must run before observations for the
+// exact-percentile guarantee, though late flips migrate losslessly.
+func (s *PhaseStats) useSketch() {
+	for _, d := range []*stats.Dist{
+		&s.Seek, &s.Settle, &s.Turnaround, &s.Transfer, &s.Overhead, &s.Recovery,
+		&s.Positioning, &s.Service, &s.Unattributed,
+	} {
+		d.UseSketch()
+	}
+	for i := range s.ClassService {
+		s.ClassService[i].UseSketch()
+	}
+}
+
 // add folds one completed request's accumulated breakdown in under its
 // scheduling class.
 func (s *PhaseStats) add(bd core.Breakdown, class core.Class) {
@@ -242,11 +258,21 @@ func (s *PhaseStats) add(bd core.Breakdown, class core.Class) {
 // measured completions. Attach it via Options.Probe (alone or inside a
 // MultiProbe) and the run's Result.Phases points at its statistics.
 type PhaseCollector struct {
-	ps PhaseStats
+	ps     PhaseStats
+	sketch bool
 }
 
 // NewPhaseCollector returns an empty collector.
 func NewPhaseCollector() *PhaseCollector { return &PhaseCollector{} }
+
+// UseSketch switches the collector's aggregates to the bounded quantile
+// sketch, now and after every ResetProbe. The engine calls it on every
+// attached collector when Options.Sketch is set; callers building
+// long-lived collectors outside a run may call it directly.
+func (c *PhaseCollector) UseSketch() {
+	c.sketch = true
+	c.ps.useSketch()
+}
 
 // Observe implements Probe.
 func (c *PhaseCollector) Observe(ev ProbeEvent) {
@@ -257,7 +283,12 @@ func (c *PhaseCollector) Observe(ev ProbeEvent) {
 }
 
 // ResetProbe implements ProbeResetter.
-func (c *PhaseCollector) ResetProbe() { c.ps = PhaseStats{} }
+func (c *PhaseCollector) ResetProbe() {
+	c.ps = PhaseStats{}
+	if c.sketch {
+		c.ps.useSketch()
+	}
+}
 
 // Stats returns the collected aggregates.
 func (c *PhaseCollector) Stats() *PhaseStats { return &c.ps }
@@ -279,6 +310,22 @@ func findPhaseCollector(p Probe) *PhaseCollector {
 		}
 	}
 	return nil
+}
+
+// applySketch flips every PhaseCollector reachable through p to the
+// bounded sketch backend (Options.Sketch), descending into MultiProbe
+// and run-label wrappers like the other probe walks.
+func applySketch(p Probe) {
+	switch pr := p.(type) {
+	case *PhaseCollector:
+		pr.UseSketch()
+	case runLabelProbe:
+		applySketch(pr.p)
+	case MultiProbe:
+		for _, sub := range pr {
+			applySketch(sub)
+		}
+	}
 }
 
 // phaseStats surfaces an attached collector's stats, for the tail of the

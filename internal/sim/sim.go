@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -103,6 +102,18 @@ type Options struct {
 	// byte-identical to an unprobed run. Probes with run-scoped state
 	// (PhaseCollector) are reset alongside the device and scheduler.
 	Probe Probe
+	// Sketch switches every percentile-bearing aggregate the run owns —
+	// the PhaseCollector's PhaseStats (per-run and per-member) and
+	// RunVolume's VolumeStats distributions — from the exact
+	// sample-retaining backend to the bounded quantile sketch
+	// (stats.Sketch): p95/p99 become estimates within the sketch's
+	// documented relative-error bound (±1%) and stats memory becomes
+	// O(1) in the request count, which is what makes million-request
+	// runs tractable. The default (false) keeps the exact backend and
+	// stays byte-identical to historical runs — the golden equivalence
+	// suite pins it. Moments (mean, CV², min/max) are Welford-computed
+	// either way and never change.
+	Sketch bool
 	// Check enables run-time self-verification: the engine attaches an
 	// engine-owned InvariantProbe (composed after any declared Probe) and
 	// panics at finalize on any violation — request conservation, event
@@ -297,8 +308,15 @@ type Event struct {
 
 // EventQueue dispatches events in time order. The zero value is ready to
 // use.
+//
+// The heap is hand-rolled over Event values rather than container/heap
+// over pointers: Schedule is the engine's per-request hot path, and the
+// value layout costs zero allocations per event (the backing array grows
+// amortized and its capacity is reused for the rest of the run) where
+// the interface-based heap paid one *Event allocation plus interface
+// boxing per call.
 type EventQueue struct {
-	h   eventHeap
+	h   []Event
 	seq int
 	now float64
 }
@@ -309,6 +327,15 @@ func (q *EventQueue) Now() float64 { return q.now }
 // Len reports the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
 
+// less orders events by time, then by insertion order for stable FIFO
+// ties — the same comparator the simulator has always used.
+func (q *EventQueue) less(i, j int) bool {
+	if q.h[i].Time != q.h[j].Time {
+		return q.h[i].Time < q.h[j].Time
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
 // Schedule enqueues fn to run at time t. Scheduling in the past (before
 // the last dispatched event) panics: it indicates a simulation bug.
 func (q *EventQueue) Schedule(t float64, fn func()) {
@@ -316,7 +343,16 @@ func (q *EventQueue) Schedule(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %g before current time %g", t, q.now))
 	}
 	q.seq++
-	heap.Push(&q.h, &Event{Time: t, Fn: fn, seq: q.seq})
+	q.h = append(q.h, Event{Time: t, Fn: fn, seq: q.seq})
+	// Sift up.
+	for i := len(q.h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
 }
 
 // Step dispatches the earliest event; it reports whether one was run.
@@ -324,9 +360,29 @@ func (q *EventQueue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.h).(*Event)
-	q.now = e.Time
-	e.Fn()
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = Event{} // release the callback for GC
+	q.h = q.h[:n]
+	// Sift down.
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.h[i], q.h[child] = q.h[child], q.h[i]
+		i = child
+	}
+	q.now = top.Time
+	top.Fn()
 	return true
 }
 
@@ -339,24 +395,4 @@ func (q *EventQueue) RunUntil(t float64) {
 	if q.now < t {
 		q.now = t
 	}
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }

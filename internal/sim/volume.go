@@ -100,6 +100,16 @@ type VolumeStats struct {
 	ClassResponse [core.NumClasses]stats.Dist
 }
 
+// useSketch flips the volume's response distributions to the bounded
+// sketch backend (Options.Sketch).
+func (v *VolumeStats) useSketch() {
+	v.Healthy.UseSketch()
+	v.Degraded.UseSketch()
+	for i := range v.ClassResponse {
+		v.ClassResponse[i].UseSketch()
+	}
+}
+
 // volReq tracks one in-flight volume-level intent — a foreground
 // request or a background rebuild chunk — through its fork-join phases
 // of member operations.
@@ -127,6 +137,15 @@ type volReq struct {
 	degradedRead  bool
 	degradedWrite bool
 	spareRead     bool
+}
+
+// volInflight is one member's in-flight service-completion state,
+// consumed by the member's reusable completion callback.
+type volInflight struct {
+	mr    *core.Request
+	vr    *volReq
+	done  float64
+	again bool
 }
 
 // RunVolume drives an open-arrival workload over a redundant volume.
@@ -201,7 +220,7 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 
 	v.Reset()
 	e := newEngine(ctx, opts)
-	ms := newMemberSet(devs, scheds, e.p)
+	ms := newMemberSet(devs, scheds, e)
 	finish := e.runVolume(v, ms, src, chunk, policy)
 	e.loop()
 	e.finalize()
@@ -216,6 +235,9 @@ func RunVolume(ctx *Context, spec VolumeSpec, src workload.Source, opts Options)
 // publishing the volume aggregates.
 func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, chunk int, policy RebuildPolicy) func() {
 	var vstats VolumeStats
+	if e.opts.Sketch {
+		vstats.useSketch()
+	}
 	// opmap resolves a queued member request back to its volume intent;
 	// entries are deleted at dispatch (requeued ops re-register), and
 	// the map is never iterated, so determinism is preserved.
@@ -233,6 +255,14 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		dispatch   func(i int)
 		issue      func(vr *volReq, now float64)
 		startChunk func(now float64)
+		// startChunkFn is the reusable "resume the rebuild" event callback
+		// (at most one pending), and inflight/doneFns carry each member's
+		// in-flight completion state and its one reusable completion
+		// callback — the allocation diet's replacement for a fresh closure
+		// per member dispatch.
+		startChunkFn func()
+		inflight     = make([]volInflight, len(ms.devs))
+		doneFns      = make([]func(), len(ms.devs))
 	)
 
 	// memberClass tags a member op with its parent intent's scheduling
@@ -284,41 +314,51 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		}
 	}
 
+	// onDone folds the completing volume request (curVR, set by
+	// finishReq) into the volume tallies. complete invokes it
+	// synchronously, so one shared closure replaces a fresh one per
+	// completion.
+	var curVR *volReq
+	onDone := func(measured bool) {
+		vr := curVR
+		r := vr.r
+		// The volume keeps its own fault tallies (classify would
+		// double-count): a failed foreground request is a lost
+		// request at volume scope whatever first broke it.
+		if r.Failed {
+			e.res.FailedRequests++
+			vstats.LostRequests++
+			if r.Op == core.Read {
+				e.res.LostReads++
+			}
+		}
+		if vr.degradedRead {
+			e.res.DegradedReads++
+			vstats.DegradedReads++
+		}
+		if vr.degradedWrite {
+			vstats.DegradedWrites++
+		}
+		if vr.spareRead {
+			vstats.SpareReads++
+		}
+		if measured {
+			if v.Degraded() || v.Lost() {
+				vstats.Degraded.Add(r.ResponseTime())
+			} else {
+				vstats.Healthy.Add(r.ResponseTime())
+			}
+			vstats.ClassResponse[r.Class].Add(r.ResponseTime())
+		}
+	}
+
 	finishReq := func(vr *volReq, now float64) {
 		r := vr.r
 		r.Finish = now
 		r.Degraded = vr.degradedRead
 		r.Class = memberClass(vr)
-		e.complete(now, r, 0, vr.qlen, r.ResponseTime(), r.ServiceTime(), false, func(measured bool) {
-			// The volume keeps its own fault tallies (classify would
-			// double-count): a failed foreground request is a lost
-			// request at volume scope whatever first broke it.
-			if r.Failed {
-				e.res.FailedRequests++
-				vstats.LostRequests++
-				if r.Op == core.Read {
-					e.res.LostReads++
-				}
-			}
-			if vr.degradedRead {
-				e.res.DegradedReads++
-				vstats.DegradedReads++
-			}
-			if vr.degradedWrite {
-				vstats.DegradedWrites++
-			}
-			if vr.spareRead {
-				vstats.SpareReads++
-			}
-			if measured {
-				if v.Degraded() || v.Lost() {
-					vstats.Degraded.Add(r.ResponseTime())
-				} else {
-					vstats.Healthy.Add(r.ResponseTime())
-				}
-				vstats.ClassResponse[r.Class].Add(r.ResponseTime())
-			}
-		})
+		curVR = vr
+		e.complete(now, r, 0, vr.qlen, r.ResponseTime(), r.ServiceTime(), false, onDone)
 	}
 
 	chunkDone := func(vr *volReq, now float64) {
@@ -329,7 +369,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 			// A fault-injected member op exhausted its budgets mid-chunk:
 			// the rebuild cursor did not advance, so re-scan the same
 			// chunk rather than silently abandoning the rebuild.
-			e.q.Schedule(now, func() { startChunk(e.q.Now()) })
+			e.q.Schedule(now, startChunkFn)
 			return
 		}
 		vstats.RebuildChunks++
@@ -368,7 +408,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		if pace < 1 {
 			gap = (now - vr.chunkStart) * (1 - pace) / pace
 		}
-		e.q.Schedule(now+gap, func() { startChunk(e.q.Now()) })
+		e.q.Schedule(now+gap, startChunkFn)
 	}
 
 	finish := func(vr *volReq, now float64) {
@@ -450,16 +490,25 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		if ms.phases != nil {
 			ms.phases[i].add(bd, mr.Class)
 		}
-		e.q.Schedule(now+svc, func() {
+		fl := &inflight[i]
+		fl.mr, fl.vr, fl.done, fl.again = mr, vr, now+svc, again
+		e.q.Schedule(now+svc, doneFns[i])
+	}
+
+	for i := range doneFns {
+		i := i
+		doneFns[i] = func() {
+			fl := &inflight[i]
+			mr, vr := fl.mr, fl.vr
 			ms.busy[i] = false
-			if again {
+			if fl.again {
 				// The visit exhausted its retries with requeue budget
 				// left: the member op goes back to its own queue and the
 				// fork-join leg stays outstanding.
 				opmap[mr] = vr
 				requeue(ms.scheds[i], mr)
 				if e.p != nil {
-					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: now + svc, Dev: i, Req: mr,
+					e.p.Observe(ProbeEvent{Kind: EventRequeue, Time: fl.done, Dev: i, Req: mr,
 						Queue: ms.scheds[i].Len()})
 				}
 			} else {
@@ -471,7 +520,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 				opDone(vr, e.q.Now())
 			}
 			dispatch(i)
-		})
+		}
 	}
 
 	startChunk = func(now float64) {
@@ -492,6 +541,7 @@ func (e *engine) runVolume(v *array.Volume, ms *memberSet, src workload.Source, 
 		}
 		issue(vr, now)
 	}
+	startChunkFn = func() { startChunk(e.q.Now()) }
 
 	// drainDead empties a dead device's queue, re-resolving each queued
 	// member operation against the post-failure state (peer
